@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation.
+The sweeps run once per benchmark (``pedantic`` with a single round): the
+interesting output is the printed table, not the wall-clock variance, and a
+full multi-policy sweep is far too expensive to repeat dozens of times.
+
+Benchmarks use a reduced workload scale so the whole suite finishes in a few
+minutes while preserving the capacity ratios that drive the paper's
+behaviour (footprints exceed the SSD-DRAM compute window and host cache).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, experiment_platform_config
+
+#: Workload scale used by all benchmarks.
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(workload_scale=BENCH_SCALE,
+                            platform=experiment_platform_config())
+
+
+@pytest.fixture(scope="session")
+def shared_cache() -> dict:
+    """Session-wide cache so related benchmarks can reuse expensive sweeps."""
+    return {}
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 10 (instruction-to-resource timeline)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table, phase_summary, run_timeline
+
+
+def test_bench_fig10_timeline(benchmark, bench_config):
+    timelines = run_once(benchmark, run_timeline, bench_config, 12_000)
+    rows = phase_summary(timelines, phases=6)
+    print("\nFig. 10 -- LLaMA2 Inference instruction-to-resource phases")
+    print(format_table(rows))
+    assert set(timelines) == {"BW-Offloading", "DM-Offloading", "Conduit"}
+    for policy, timeline in timelines.items():
+        assert timeline, policy
+        resources = {entry["resource"] for entry in timeline}
+        assert resources <= {"isp", "pud-ssd", "ifp"}
+    # Paper observation: BW-Offloading switches resources more often than
+    # DM-Offloading, which pins phases to one resource.
+    switches = {policy: sum(1 for a, b in zip(t, t[1:])
+                            if a["resource"] != b["resource"])
+                for policy, t in timelines.items()}
+    assert switches["BW-Offloading"] >= switches["DM-Offloading"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 5 (effectiveness of prior offloading models)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table, nested_to_rows, run_motivation
+
+
+def test_bench_fig5_prior_offloading_speedups(benchmark, bench_config):
+    table = run_once(benchmark, run_motivation, bench_config)
+    print("\nFig. 5 -- speedup over CPU (higher is better)")
+    print(format_table(nested_to_rows(table)))
+    gmean = table["GMEAN"]
+    # Shape checks from the paper's observations: the Ideal policy is the
+    # upper bound and beats every prior offloading model.
+    assert gmean["Ideal"] >= gmean["DM-Offloading"]
+    assert gmean["Ideal"] >= gmean["BW-Offloading"]
+    assert gmean["Ideal"] >= gmean["ISP"]
+    assert gmean["Ideal"] > 1.0

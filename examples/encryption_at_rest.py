@@ -1,0 +1,54 @@
+"""Scenario: bulk encryption of SSD-resident data (AES, in-flash bitwise).
+
+Data-at-rest encryption sweeps every page of a dataset with bulk-bitwise
+rounds -- the paper's AES workload.  Because the operation mix is almost
+entirely bulk-bitwise and the data already lives on flash, the interesting
+question is how much of the work the offloader can keep inside the flash
+chips (Flash-Cosmos multi-wordline sensing) and the SSD DRAM (MIMDRAM-style
+bbops) instead of dragging pages to the controller cores or the host.
+
+Run with:  python examples/encryption_at_rest.py
+"""
+
+from repro.common import Resource
+from repro.core.metrics import energy_reduction, speedup
+from repro.experiments import ExperimentConfig, ExperimentRunner, format_table
+from repro.workloads import AESWorkload, characterize
+
+POLICIES = ("CPU", "ISP", "Flash-Cosmos", "PuD-SSD", "Conduit")
+
+
+def main() -> None:
+    config = ExperimentConfig(workload_scale=0.1)
+    runner = ExperimentRunner(config)
+    workload = AESWorkload(scale=config.workload_scale)
+
+    characteristics = characterize(workload)
+    print("AES workload characteristics (Table 3 row):")
+    print(f"  vectorizable code: {characteristics.vectorizable_fraction:.0%}"
+          f"  average reuse: {characteristics.average_reuse:.1f}"
+          f"  bitwise share: {characteristics.low_latency_fraction:.0%}")
+
+    results = {policy: runner.run(workload, policy) for policy in POLICIES}
+    cpu = results["CPU"]
+    rows = []
+    for policy, result in results.items():
+        fractions = result.ssd_resource_fractions()
+        rows.append({
+            "policy": policy,
+            "time_ms": result.total_time_ns / 1e6,
+            "speedup_vs_cpu": speedup(cpu, result),
+            "energy_vs_cpu": (result.total_energy_nj / cpu.total_energy_nj
+                              if cpu.total_energy_nj else 0.0),
+            "ifp_share": fractions.get(Resource.IFP, 0.0),
+            "pud_share": fractions.get(Resource.PUD, 0.0),
+        })
+    print(format_table(rows))
+
+    conduit = results["Conduit"]
+    print(f"\nConduit: {speedup(cpu, conduit):.2f}x over CPU, "
+          f"{100 * energy_reduction(cpu, conduit):.0f}% energy reduction")
+
+
+if __name__ == "__main__":
+    main()

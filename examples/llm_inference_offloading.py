@@ -1,0 +1,56 @@
+"""Scenario: offloading INT8 LLM inference into the SSD.
+
+The paper's headline workload is INT8 LLaMA2 inference whose weights live on
+the SSD.  This example runs the LLaMA2 Inference workload under several
+offloading policies and shows where each policy places the work -- in
+particular how Conduit keeps the expensive INT8 multiplications away from
+in-flash processing (Ares-Flash shift-and-add) while DM-Offloading pins them
+to flash to minimize data movement (Section 6.4/6.5 of the paper).
+
+Run with:  python examples/llm_inference_offloading.py
+"""
+
+from repro.common import Resource
+from repro.core.metrics import speedup
+from repro.experiments import ExperimentConfig, ExperimentRunner, format_table
+from repro.workloads import LlamaInferenceWorkload
+
+POLICIES = ("CPU", "GPU", "DM-Offloading", "BW-Offloading", "Conduit",
+            "Ideal")
+
+
+def main() -> None:
+    config = ExperimentConfig(workload_scale=0.1)
+    runner = ExperimentRunner(config)
+    workload = LlamaInferenceWorkload(scale=config.workload_scale)
+    print(f"Workload: {workload.name}, footprint "
+          f"{workload.footprint_bytes() / (1 << 20):.1f} MiB "
+          f"(INT8-quantized, weights resident on the SSD)")
+
+    results = {policy: runner.run(workload, policy) for policy in POLICIES}
+    cpu = results["CPU"]
+    rows = []
+    for policy, result in results.items():
+        fractions = result.ssd_resource_fractions()
+        rows.append({
+            "policy": policy,
+            "time_ms": result.total_time_ns / 1e6,
+            "speedup_vs_cpu": speedup(cpu, result),
+            "energy_mJ": result.total_energy_nj / 1e6,
+            "isp": fractions.get(Resource.ISP, 0.0),
+            "pud_ssd": fractions.get(Resource.PUD, 0.0),
+            "ifp": fractions.get(Resource.IFP, 0.0),
+            "p99_us": result.p99_latency_ns / 1e3,
+        })
+    print(format_table(rows))
+
+    conduit = results["Conduit"]
+    dm = results["DM-Offloading"]
+    print(f"\nConduit vs DM-Offloading: "
+          f"{dm.total_time_ns / conduit.total_time_ns:.2f}x faster, "
+          f"{100 * (1 - conduit.total_energy_nj / dm.total_energy_nj):.0f}% "
+          "less energy")
+
+
+if __name__ == "__main__":
+    main()

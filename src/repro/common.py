@@ -1,0 +1,246 @@
+"""Common types shared across all Conduit subsystems.
+
+This module is intentionally dependency-free: every other package in
+``repro`` (the SSD substrate, the DRAM / ISP / IFP compute models, the
+compiler, and the runtime offloader) imports its enumerations and unit
+constants from here, which keeps the dependency graph acyclic.
+
+The vocabulary follows the paper:
+
+* :class:`OpType` -- the operation types the compile-time vectorizer emits
+  and the runtime offloader reasons about (Section 4.3).
+* :class:`OpClass` / :class:`LatencyClass` -- the operation categories used
+  by the workload characterization (Table 3) and the cost function.
+* :class:`Resource` -- the computation resources an instruction can be
+  offloaded to (Section 2.2): ISP, PuD-SSD, IFP, plus the host CPU/GPU used
+  for the outside-storage-processing baselines.
+* :class:`DataLocation` -- where an operand currently resides (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+# --------------------------------------------------------------------------
+# Unit constants.  All simulator latencies are expressed in nanoseconds and
+# all sizes in bytes unless a name says otherwise.
+# --------------------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Energy values are expressed in nanojoules.
+NJ = 1.0
+UJ = 1_000.0
+MJ = 1_000_000.0
+
+
+class OpType(enum.Enum):
+    """Vector operation types produced by Conduit's vectorizer.
+
+    The names mirror the LLVM-IR-level operations the paper's compiler pass
+    emits (Fig. 6 shows ``xor``/``and`` on ``<4096 x i32>`` vectors) plus the
+    arithmetic, predication and data-movement operations required by the six
+    evaluated workloads.
+    """
+
+    # Bulk-bitwise operations (supported by all three resources).
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    NAND = "nand"
+    NOR = "nor"
+    MAJ = "maj"
+
+    # Shifts / rotates.
+    SHL = "shl"
+    SHR = "shr"
+
+    # Arithmetic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MAC = "mac"
+
+    # Reductions.
+    REDUCE_ADD = "reduce_add"
+    REDUCE_MAX = "reduce_max"
+    REDUCE_MIN = "reduce_min"
+
+    # Predication / relational.
+    CMP_EQ = "cmp_eq"
+    CMP_LT = "cmp_lt"
+    CMP_GT = "cmp_gt"
+    SELECT = "select"
+
+    # Data movement / layout.
+    COPY = "copy"
+    SHUFFLE = "shuffle"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    LOAD = "load"
+    STORE = "store"
+
+    # Scalar / control-intensive work that could not be vectorized.  These
+    # always execute on the SSD controller cores (or the host for OSP).
+    SCALAR = "scalar"
+    BRANCH = "branch"
+    CALL = "call"
+
+    @property
+    def is_bitwise(self) -> bool:
+        return self in _BITWISE_OPS
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in _ARITHMETIC_OPS
+
+    @property
+    def is_predication(self) -> bool:
+        return self in _PREDICATION_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        return self in _MEMORY_OPS
+
+    @property
+    def is_control(self) -> bool:
+        return self in _CONTROL_OPS
+
+
+_BITWISE_OPS = frozenset(
+    {OpType.AND, OpType.OR, OpType.XOR, OpType.NOT, OpType.NAND, OpType.NOR,
+     OpType.MAJ, OpType.SHL, OpType.SHR}
+)
+_ARITHMETIC_OPS = frozenset(
+    {OpType.ADD, OpType.SUB, OpType.MUL, OpType.DIV, OpType.MAC,
+     OpType.REDUCE_ADD, OpType.REDUCE_MAX, OpType.REDUCE_MIN}
+)
+_PREDICATION_OPS = frozenset(
+    {OpType.CMP_EQ, OpType.CMP_LT, OpType.CMP_GT, OpType.SELECT}
+)
+_MEMORY_OPS = frozenset(
+    {OpType.COPY, OpType.SHUFFLE, OpType.GATHER, OpType.SCATTER,
+     OpType.LOAD, OpType.STORE}
+)
+_CONTROL_OPS = frozenset({OpType.SCALAR, OpType.BRANCH, OpType.CALL})
+
+
+class OpClass(enum.Enum):
+    """Coarse operation category used by the cost function (Table 1)."""
+
+    BITWISE = "bulk-bitwise"
+    ARITHMETIC = "arithmetic"
+    PREDICATION = "predication"
+    MEMORY = "memory"
+    CONTROL = "control"
+
+    @classmethod
+    def of(cls, op: OpType) -> "OpClass":
+        if op.is_bitwise:
+            return cls.BITWISE
+        if op.is_arithmetic:
+            return cls.ARITHMETIC
+        if op.is_predication:
+            return cls.PREDICATION
+        if op.is_memory:
+            return cls.MEMORY
+        return cls.CONTROL
+
+
+class LatencyClass(enum.Enum):
+    """Low / medium / high latency buckets used by Table 3.
+
+    The paper classifies bitwise and logical operations as low latency,
+    additions and predication as medium latency, and multiplications (and
+    other multi-cycle arithmetic) as high latency.
+    """
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def of(cls, op: OpType) -> "LatencyClass":
+        if op in _HIGH_LATENCY_OPS:
+            return cls.HIGH
+        if op in _MEDIUM_LATENCY_OPS:
+            return cls.MEDIUM
+        return cls.LOW
+
+
+_HIGH_LATENCY_OPS = frozenset(
+    {OpType.MUL, OpType.DIV, OpType.MAC, OpType.GATHER, OpType.SCATTER}
+)
+_MEDIUM_LATENCY_OPS = frozenset(
+    {OpType.ADD, OpType.SUB, OpType.REDUCE_ADD, OpType.REDUCE_MAX,
+     OpType.REDUCE_MIN, OpType.CMP_EQ, OpType.CMP_LT, OpType.CMP_GT,
+     OpType.SELECT, OpType.SHUFFLE, OpType.SCALAR, OpType.BRANCH,
+     OpType.CALL}
+)
+
+
+class Resource(enum.Enum):
+    """Computation resources that may execute a vector instruction."""
+
+    ISP = "isp"
+    PUD = "pud-ssd"
+    IFP = "ifp"
+    HOST_CPU = "host-cpu"
+    HOST_GPU = "host-gpu"
+
+    @property
+    def is_in_ssd(self) -> bool:
+        return self in (Resource.ISP, Resource.PUD, Resource.IFP)
+
+
+#: The three SSD-internal computation resources in the order the paper lists
+#: them (ISP, PuD-SSD, IFP).
+SSD_RESOURCES = (Resource.ISP, Resource.PUD, Resource.IFP)
+
+
+class DataLocation(enum.Enum):
+    """Current physical location of an operand's logical pages."""
+
+    FLASH = "flash"
+    SSD_DRAM = "ssd-dram"
+    CTRL_SRAM = "controller-sram"
+    HOST = "host"
+
+
+#: The resource at which data is considered "local" for each location.
+LOCATION_HOME_RESOURCE = {
+    DataLocation.FLASH: Resource.IFP,
+    DataLocation.SSD_DRAM: Resource.PUD,
+    DataLocation.CTRL_SRAM: Resource.ISP,
+    DataLocation.HOST: Resource.HOST_CPU,
+}
+
+#: The location at which operands must reside for each resource to compute.
+#: The SSD controller cores (ISP) operate on bulk operands staged in the SSD
+#: DRAM (their SRAM only holds working registers/tiles), which is why the
+#: paper's operand-location field is a single flash/DRAM bit and why ISP and
+#: PuD-SSD incur similar data-movement overheads (Section 3.1, footnote 2).
+RESOURCE_HOME_LOCATION = {
+    Resource.IFP: DataLocation.FLASH,
+    Resource.PUD: DataLocation.SSD_DRAM,
+    Resource.ISP: DataLocation.SSD_DRAM,
+    Resource.HOST_CPU: DataLocation.HOST,
+    Resource.HOST_GPU: DataLocation.HOST,
+}
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator reaches an inconsistent state."""
+
+
+class ConfigurationError(ValueError):
+    """Raised when a configuration object fails validation."""

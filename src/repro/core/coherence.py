@@ -1,0 +1,189 @@
+"""Lazy coherence between SSD computation resources.
+
+Conduit maintains coherence at logical-page granularity using lightweight
+metadata stored alongside the L2P table in SSD DRAM (Section 4.4).  Each
+logical page has three fields:
+
+* **owner** -- the computation-resource location (flash, SSD DRAM, or
+  controller SRAM) holding the latest version of the page;
+* **state** -- clean or dirty;
+* **version** -- a one-byte monotonically increasing counter used to order
+  updates and detect stale copies.
+
+Synchronisation is *lazy*: data is written back to flash only when another
+computation resource (or the host) requests the page, when it must be
+evicted to reuse the temporary location, on garbage collection, or on a
+power cycle.  A strict flush-on-every-write policy is modelled as well so
+the ablation benchmark can quantify why the paper rejects it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.common import DataLocation, SimulationError
+
+#: Size of the version counter in bits (stored as one byte; a 3-bit counter
+#: would suffice for the evaluated workloads -- Section 4.4, footnote 4).
+VERSION_BITS = 8
+_VERSION_WRAP = 2 ** VERSION_BITS
+
+
+class PageCoherenceState(enum.Enum):
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+
+class CoherencePolicy(enum.Enum):
+    """Lazy (paper) vs strict (ablation) synchronisation."""
+
+    LAZY = "lazy"
+    STRICT = "strict"
+
+
+@dataclass
+class CoherenceEntry:
+    """Owner / state / version triple for one logical page."""
+
+    owner: DataLocation = DataLocation.FLASH
+    state: PageCoherenceState = PageCoherenceState.CLEAN
+    version: int = 0
+
+    #: Bytes this entry adds to the L2P table: owner (1) + state (1) +
+    #: version (1).
+    METADATA_BYTES = 3
+
+
+@dataclass
+class SyncAction:
+    """One synchronisation the directory requests from the platform."""
+
+    lpa: int
+    from_location: DataLocation
+    #: Commit target is always flash (the durable home of every page).
+    to_location: DataLocation = DataLocation.FLASH
+    reason: str = ""
+
+
+class CoherenceDirectory:
+    """Tracks owner/state/version for every logical page touched by NDP."""
+
+    def __init__(self, policy: CoherencePolicy = CoherencePolicy.LAZY) -> None:
+        self.policy = policy
+        self._entries: Dict[int, CoherenceEntry] = {}
+        self.flushes = 0
+        self.version_wraps = 0
+
+    # -- Entry access --------------------------------------------------------
+
+    def entry(self, lpa: int) -> CoherenceEntry:
+        if lpa not in self._entries:
+            self._entries[lpa] = CoherenceEntry()
+        return self._entries[lpa]
+
+    def owner(self, lpa: int) -> DataLocation:
+        return self.entry(lpa).owner
+
+    def is_dirty(self, lpa: int) -> bool:
+        return self.entry(lpa).state is PageCoherenceState.DIRTY
+
+    def tracked_pages(self) -> int:
+        return len(self._entries)
+
+    def metadata_bytes(self) -> int:
+        """Coherence metadata footprint in SSD DRAM."""
+        return len(self._entries) * CoherenceEntry.METADATA_BYTES
+
+    # -- Reads ------------------------------------------------------------------
+
+    def on_read(self, lpa: int,
+                reader_location: DataLocation) -> List[SyncAction]:
+        """A computation resource (or the host) reads ``lpa``.
+
+        If another resource holds a dirty copy, the lazy protocol commits the
+        page to flash first (Section 4.4: "If another computation resource or
+        the host requests the page, Conduit commits the updated page to the
+        NAND flash chips, sets the owner field to flash, marks the state as
+        clean, and resets the version").
+        """
+        entry = self.entry(lpa)
+        actions: List[SyncAction] = []
+        if (entry.state is PageCoherenceState.DIRTY
+                and entry.owner is not reader_location):
+            actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                      reason="remote read of dirty page"))
+            self._commit(entry)
+        return actions
+
+    # -- Writes -----------------------------------------------------------------
+
+    def on_write(self, lpa: int,
+                 writer_location: DataLocation) -> List[SyncAction]:
+        """A computation resource produces a new version of ``lpa``."""
+        entry = self.entry(lpa)
+        actions: List[SyncAction] = []
+        if (entry.state is PageCoherenceState.DIRTY
+                and entry.owner is not writer_location):
+            actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                      reason="remote write of dirty page"))
+            self._commit(entry)
+        entry.owner = writer_location
+        entry.state = PageCoherenceState.DIRTY
+        entry.version += 1
+        if entry.version >= _VERSION_WRAP:
+            # Flush before the counter wraps (correctness rule, footnote 4).
+            actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                      reason="version counter wrap"))
+            self._commit(entry)
+            self.version_wraps += 1
+        if self.policy is CoherencePolicy.STRICT:
+            actions.append(SyncAction(lpa=lpa, from_location=writer_location,
+                                      reason="strict coherence write-through"))
+            self._commit(entry)
+        return actions
+
+    # -- Evictions / maintenance -----------------------------------------------------
+
+    def on_evict(self, lpa: int) -> List[SyncAction]:
+        """The page's temporary location is being reclaimed."""
+        entry = self.entry(lpa)
+        if entry.state is PageCoherenceState.DIRTY:
+            action = SyncAction(lpa=lpa, from_location=entry.owner,
+                                reason="eviction from temporary location")
+            self._commit(entry)
+            return [action]
+        entry.owner = DataLocation.FLASH
+        return []
+
+    def on_host_request(self, lpa: int) -> List[SyncAction]:
+        return self.on_read(lpa, DataLocation.HOST)
+
+    def on_gc(self, lpas: Iterable[int]) -> List[SyncAction]:
+        """Garbage collection forces synchronisation of affected pages."""
+        actions: List[SyncAction] = []
+        for lpa in lpas:
+            entry = self.entry(lpa)
+            if entry.state is PageCoherenceState.DIRTY:
+                actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                          reason="garbage collection"))
+                self._commit(entry)
+        return actions
+
+    def on_power_cycle(self) -> List[SyncAction]:
+        actions: List[SyncAction] = []
+        for lpa, entry in self._entries.items():
+            if entry.state is PageCoherenceState.DIRTY:
+                actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                          reason="power cycle"))
+                self._commit(entry)
+        return actions
+
+    # -- Internal ------------------------------------------------------------------------
+
+    def _commit(self, entry: CoherenceEntry) -> None:
+        entry.owner = DataLocation.FLASH
+        entry.state = PageCoherenceState.CLEAN
+        entry.version = 0
+        self.flushes += 1

@@ -1,0 +1,104 @@
+"""Mapping of application arrays onto logical pages of the SSD.
+
+Conduit addresses all data at logical-page granularity (Section 4.4): the
+FTL's L2P table tracks where each page physically lives, and the offloader
+reasons about operand locations in units of logical pages.  This module maps
+the compiler-level view (arrays and element ranges) onto logical page
+numbers so the runtime, the coherence directory and the data-movement engine
+all speak the same address space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common import SimulationError
+from repro.core.compiler.ir import ArrayRef, ArraySpec
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """Placement of one array: base logical page and page count."""
+
+    spec: ArraySpec
+    base_lpa: int
+    pages: int
+
+    @property
+    def end_lpa(self) -> int:
+        return self.base_lpa + self.pages
+
+
+class ArrayLayout:
+    """Assigns logical page ranges to arrays and resolves operand pages."""
+
+    def __init__(self, page_size_bytes: int, base_lpa: int = 0) -> None:
+        if page_size_bytes <= 0:
+            raise SimulationError("page size must be positive")
+        self.page_size_bytes = page_size_bytes
+        self._next_lpa = base_lpa
+        self._placements: Dict[str, ArrayPlacement] = {}
+
+    # -- Construction -----------------------------------------------------------
+
+    def place(self, spec: ArraySpec) -> ArrayPlacement:
+        """Allocate a contiguous logical page range for ``spec``."""
+        if spec.name in self._placements:
+            return self._placements[spec.name]
+        pages = spec.pages(self.page_size_bytes)
+        placement = ArrayPlacement(spec=spec, base_lpa=self._next_lpa,
+                                   pages=pages)
+        self._placements[spec.name] = placement
+        self._next_lpa += pages
+        return placement
+
+    def place_all(self, specs: Iterable[ArraySpec]) -> None:
+        for spec in specs:
+            self.place(spec)
+
+    # -- Queries ------------------------------------------------------------------
+
+    def placement(self, array: str) -> ArrayPlacement:
+        if array not in self._placements:
+            raise SimulationError(f"array '{array}' has no placement")
+        return self._placements[array]
+
+    @property
+    def total_pages(self) -> int:
+        return sum(p.pages for p in self._placements.values())
+
+    def all_lpas(self) -> List[int]:
+        lpas: List[int] = []
+        for placement in self._placements.values():
+            lpas.extend(range(placement.base_lpa, placement.end_lpa))
+        return lpas
+
+    def pages_of(self, ref: ArrayRef, element_bits: int) -> List[int]:
+        """Logical pages covered by an operand region."""
+        placement = self.placement(ref.array)
+        start_byte = ref.offset * element_bits // 8
+        end_byte = ref.end * element_bits // 8
+        first = start_byte // self.page_size_bytes
+        last = max(first, math.ceil(end_byte / self.page_size_bytes) - 1)
+        first = min(first, placement.pages - 1)
+        last = min(last, placement.pages - 1)
+        return [placement.base_lpa + page for page in range(first, last + 1)]
+
+    def colocation_groups(self, pages_per_block: int
+                          ) -> List[List[int]]:
+        """Groups of logical pages that should share a flash block.
+
+        Groups consecutive pages of each array into block-sized chunks so
+        that in-flash bitwise operations over an array region find their
+        operands colocated (Flash-Cosmos layout constraint, Section 4.4).
+        """
+        groups: List[List[int]] = []
+        for placement in self._placements.values():
+            lpas = list(range(placement.base_lpa, placement.end_lpa))
+            for start in range(0, len(lpas), pages_per_block):
+                group = lpas[start:start + pages_per_block]
+                if len(group) > 1:
+                    groups.append(group)
+        return groups

@@ -1,0 +1,30 @@
+"""Conduit runtime offloading: features, cost function, policies, dispatch."""
+
+from repro.core.offload.cost_model import (CostEstimate, CostFunction,
+                                           CostModelConfig)
+from repro.core.offload.features import (FeatureCollector,
+                                         FeatureCollectorConfig,
+                                         InstructionFeatures,
+                                         ResourceFeatures)
+from repro.core.offload.offloader import (OffloadDecision, OffloaderConfig,
+                                          SSDOffloader)
+from repro.core.offload.policies import (AresFlashPolicy, BWOffloadingPolicy,
+                                         ConduitPolicy, DMOffloadingPolicy,
+                                         FlashCosmosPolicy, IdealPolicy,
+                                         ISPOnlyPolicy, OffloadingPolicy,
+                                         POLICY_REGISTRY, PolicyContext,
+                                         PuDOnlyPolicy, make_policy)
+from repro.core.offload.transform import (InstructionTransformer,
+                                          TransformedInstruction,
+                                          TRANSLATION_LOOKUP_NS)
+
+__all__ = [
+    "CostEstimate", "CostFunction", "CostModelConfig", "FeatureCollector",
+    "FeatureCollectorConfig", "InstructionFeatures", "ResourceFeatures",
+    "OffloadDecision", "OffloaderConfig", "SSDOffloader", "AresFlashPolicy",
+    "BWOffloadingPolicy", "ConduitPolicy", "DMOffloadingPolicy",
+    "FlashCosmosPolicy", "IdealPolicy", "ISPOnlyPolicy", "OffloadingPolicy",
+    "POLICY_REGISTRY", "PolicyContext", "PuDOnlyPolicy", "make_policy",
+    "InstructionTransformer", "TransformedInstruction",
+    "TRANSLATION_LOOKUP_NS",
+]

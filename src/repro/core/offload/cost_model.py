@@ -1,0 +1,101 @@
+"""Conduit's holistic cost function (Equations 1 and 2).
+
+For every instruction the cost function computes, per SSD computation
+resource *i*::
+
+    total_latency_resource_i = latency_comp + latency_dm
+                               + max(delay_dd, delay_queue)
+
+and selects::
+
+    offloading_target = argmin(total_latency_ISP,
+                               total_latency_PuD_SSD,
+                               total_latency_IFP)
+
+The maximum of the data-dependence and queueing delays is used because the
+two overlap: an instruction starts only when both its operands and the
+chosen resource are ready.  Ablation switches (sum instead of max, dropping
+individual features) are exposed for the design-choice benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common import Resource, SSD_RESOURCES, SimulationError
+from repro.core.offload.features import InstructionFeatures, ResourceFeatures
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Ablation switches for the cost function."""
+
+    combine_delays_with_max: bool = True
+    include_data_movement: bool = True
+    include_queueing_delay: bool = True
+    include_dependence_delay: bool = True
+    include_compute_latency: bool = True
+
+
+@dataclass
+class CostEstimate:
+    """Per-resource cost of one instruction."""
+
+    resource: Resource
+    total_latency_ns: float
+    compute_ns: float
+    data_movement_ns: float
+    overlap_delay_ns: float
+    supported: bool
+
+
+class CostFunction:
+    """Implements Eqn. 1 / Eqn. 2 with optional ablations."""
+
+    def __init__(self, config: Optional[CostModelConfig] = None) -> None:
+        self.config = config or CostModelConfig()
+        self.evaluations = 0
+
+    def estimate(self, features: ResourceFeatures) -> CostEstimate:
+        """Equation 1 for one resource."""
+        config = self.config
+        compute = (features.expected_compute_latency_ns
+                   if config.include_compute_latency else 0.0)
+        movement = (features.data_movement_latency_ns
+                    if config.include_data_movement else 0.0)
+        dependence = (features.dependence_delay_ns
+                      if config.include_dependence_delay else 0.0)
+        queueing = (features.queueing_delay_ns
+                    if config.include_queueing_delay else 0.0)
+        overlap = (max(dependence, queueing)
+                   if config.combine_delays_with_max
+                   else dependence + queueing)
+        total = compute + movement + overlap
+        if not features.supported:
+            total = float("inf")
+        return CostEstimate(resource=features.resource,
+                            total_latency_ns=total, compute_ns=compute,
+                            data_movement_ns=movement,
+                            overlap_delay_ns=overlap,
+                            supported=features.supported)
+
+    def estimate_all(self, features: InstructionFeatures
+                     ) -> Dict[Resource, CostEstimate]:
+        return {resource: self.estimate(features.feature(resource))
+                for resource in SSD_RESOURCES}
+
+    def select(self, features: InstructionFeatures
+               ) -> Tuple[Resource, Dict[Resource, CostEstimate]]:
+        """Equation 2: argmin over the three SSD computation resources."""
+        self.evaluations += 1
+        estimates = self.estimate_all(features)
+        viable = {resource: estimate
+                  for resource, estimate in estimates.items()
+                  if estimate.supported}
+        if not viable:
+            raise SimulationError(
+                f"no SSD resource supports operation {features.op.value}")
+        target = min(viable, key=lambda r: (viable[r].total_latency_ns,
+                                            r.value))
+        return target, estimates

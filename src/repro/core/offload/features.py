@@ -1,0 +1,183 @@
+"""Runtime feature collection (Table 1).
+
+For every vectorized instruction the SSD offloader gathers six features:
+
+1. **Operation type** -- embedded in the optimized IR at compile time.
+2. **Operand location** -- from the L2P table (100 ns per operand for a
+   DRAM-cached entry, 30 us on a mapping-cache miss).
+3. **Data-dependence delay** -- time until the instruction's operands become
+   available, estimated by summing the predicted computation costs of the
+   pending producer instructions (1 us per queue scan).
+4. **Resource queueing delay** -- the per-resource running counter of
+   pending estimated execution latency (1 us per resource).
+5. **Data-movement latency** -- looked up from the precomputed table of
+   per-location/per-size transfer costs stored in SSD DRAM (100 ns).
+6. **Expected computation latency** -- looked up from precomputed per-op
+   per-resource latency estimates (150 ns).
+
+The collector also reports the *feature-collection latency* so the paper's
+runtime-overhead analysis (3.77 us average, up to 33 us) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.common import (DataLocation, OpType, Resource, SSD_RESOURCES,
+                          US)
+from repro.core.compiler.ir import VectorInstruction
+from repro.core.layout import ArrayLayout
+from repro.core.platform import SSDPlatform
+
+#: Fixed per-component collection latencies from Section 4.5.
+L2P_DRAM_LOOKUP_NS = 100.0
+L2P_FLASH_LOOKUP_NS = 30.0 * US
+DEPENDENCE_SCAN_NS_PER_QUEUE = 1.0 * US
+QUEUE_DELAY_TRACK_NS = 1.0 * US
+MOVE_TABLE_LOOKUP_NS = 100.0
+COMPUTE_TABLE_LOOKUP_NS = 150.0
+
+
+@dataclass
+class ResourceFeatures:
+    """Per-resource feature values for one instruction."""
+
+    resource: Resource
+    supported: bool
+    expected_compute_latency_ns: float
+    data_movement_latency_ns: float
+    queueing_delay_ns: float
+    dependence_delay_ns: float
+
+    def total_latency(self, *, combine_max: bool = True) -> float:
+        """Equation 1 of the paper."""
+        overlap = (max(self.dependence_delay_ns, self.queueing_delay_ns)
+                   if combine_max
+                   else self.dependence_delay_ns + self.queueing_delay_ns)
+        return (self.expected_compute_latency_ns +
+                self.data_movement_latency_ns + overlap)
+
+
+@dataclass
+class InstructionFeatures:
+    """The full feature vector of one instruction (all six features)."""
+
+    instruction_uid: int
+    op: OpType
+    operand_locations: Dict[DataLocation, int]
+    per_resource: Dict[Resource, ResourceFeatures]
+    collection_latency_ns: float
+
+    def feature(self, resource: Resource) -> ResourceFeatures:
+        return self.per_resource[resource]
+
+
+@dataclass(frozen=True)
+class FeatureCollectorConfig:
+    """Which features are collected (used by the ablation benchmarks)."""
+
+    include_queueing_delay: bool = True
+    include_dependence_delay: bool = True
+    include_data_movement: bool = True
+    combine_delays_with_max: bool = True
+
+
+class FeatureCollector:
+    """Collects the six cost-function features for one instruction."""
+
+    def __init__(self, platform: SSDPlatform, layout: ArrayLayout,
+                 config: Optional[FeatureCollectorConfig] = None) -> None:
+        self.platform = platform
+        self.layout = layout
+        self.config = config or FeatureCollectorConfig()
+        self.collections = 0
+        self.total_collection_latency_ns = 0.0
+        self.max_collection_latency_ns = 0.0
+
+    # -- Operand pages ---------------------------------------------------------
+
+    def operand_pages(self, instruction: VectorInstruction) -> List[int]:
+        pages: List[int] = []
+        for ref in instruction.array_sources:
+            pages.extend(self.layout.pages_of(ref, instruction.element_bits))
+        return pages
+
+    def destination_pages(self, instruction: VectorInstruction) -> List[int]:
+        if instruction.dest is None:
+            return []
+        return self.layout.pages_of(instruction.dest,
+                                    instruction.element_bits)
+
+    # -- Collection ----------------------------------------------------------------
+
+    def collect(self, instruction: VectorInstruction, now: float,
+                pending_producer_latency: float) -> InstructionFeatures:
+        """Gather the feature vector for ``instruction`` at time ``now``.
+
+        ``pending_producer_latency`` is the estimated remaining time until
+        the instruction's producers finish (data-dependence delay), which
+        the runtime derives from its completion-time bookkeeping.
+        """
+        platform = self.platform
+        operand_pages = self.operand_pages(instruction)
+        locations = platform.locations_of_pages(operand_pages)
+        mapping_cache = platform.ssd.ftl.cache
+        collection_ns = 0.0
+        # (2) operand location: one L2P lookup per operand page.
+        for lpa in operand_pages:
+            if mapping_cache.lookup(lpa) is not None:
+                collection_ns += L2P_DRAM_LOOKUP_NS
+            else:
+                collection_ns += L2P_FLASH_LOOKUP_NS
+        # (3) dependence delay: scan the execution queues for the pending
+        # producers of this instruction's operands.
+        dependence_delay = (pending_producer_latency
+                            if self.config.include_dependence_delay else 0.0)
+        collection_ns += DEPENDENCE_SCAN_NS_PER_QUEUE
+        # (4) queueing delay: read each resource's running latency counter.
+        queue_delays = platform.queues.queueing_delays(now)
+        collection_ns += QUEUE_DELAY_TRACK_NS
+        per_resource: Dict[Resource, ResourceFeatures] = {}
+        for resource in SSD_RESOURCES:
+            supported = platform.supports(resource, instruction.op)
+            # (5) data-movement latency from the precomputed table.
+            home = platform.home_location(resource)
+            movement = 0.0
+            if self.config.include_data_movement:
+                for location, pages in locations.items():
+                    movement += platform.estimate_move_latency(location, home,
+                                                               pages)
+            collection_ns += MOVE_TABLE_LOOKUP_NS
+            # (6) expected computation latency from the precomputed table.
+            if supported:
+                compute = platform.compute_latency(resource, instruction.op,
+                                                   instruction.size_bytes,
+                                                   instruction.element_bits)
+            else:
+                compute = float("inf")
+            collection_ns += COMPUTE_TABLE_LOOKUP_NS
+            queue_delay = (queue_delays[resource]
+                           if self.config.include_queueing_delay else 0.0)
+            per_resource[resource] = ResourceFeatures(
+                resource=resource, supported=supported,
+                expected_compute_latency_ns=compute,
+                data_movement_latency_ns=movement,
+                queueing_delay_ns=queue_delay,
+                dependence_delay_ns=dependence_delay,
+            )
+        self.collections += 1
+        self.total_collection_latency_ns += collection_ns
+        self.max_collection_latency_ns = max(self.max_collection_latency_ns,
+                                             collection_ns)
+        return InstructionFeatures(
+            instruction_uid=instruction.uid, op=instruction.op,
+            operand_locations=locations, per_resource=per_resource,
+            collection_latency_ns=collection_ns,
+        )
+
+    @property
+    def average_collection_latency_ns(self) -> float:
+        if self.collections == 0:
+            return 0.0
+        return self.total_collection_latency_ns / self.collections

@@ -1,0 +1,246 @@
+"""The SSD offloader.
+
+Runs inside the SSD controller (on a dedicated embedded core) and, for every
+vector instruction of the downloaded Conduit binary (Section 4.3.2):
+
+1. collects the six cost-function features (:class:`FeatureCollector`);
+2. asks the offloading policy for a target resource;
+3. translates the instruction into the target's native ISA and splits the
+   compile-time vector width into resource-sized sub-operations
+   (:class:`InstructionTransformer`);
+4. moves operands to the target resource's home location (through the
+   platform's data-movement engine, honouring lazy coherence);
+5. dispatches the instruction into the target resource's execution queue
+   and reserves its execution slot.
+
+The offloader core itself is a shared resource: its per-instruction serial
+occupancy is the feature-collection plus transformation latency divided by a
+small pipelining factor (independent lookups -- L2P, queue counters,
+latency tables -- are issued concurrently), while the *full* overhead is
+charged to the instruction's own ready time, reproducing the 3.77 us average
+overhead of Section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import DataLocation, OpType, Resource, SimulationError
+from repro.core.compiler.ir import VectorInstruction
+from repro.core.layout import ArrayLayout
+from repro.core.offload.features import (FeatureCollector,
+                                         FeatureCollectorConfig,
+                                         InstructionFeatures)
+from repro.core.offload.policies import OffloadingPolicy, PolicyContext
+from repro.core.offload.transform import (InstructionTransformer,
+                                          TransformedInstruction)
+from repro.core.platform import SSDPlatform
+
+
+@dataclass(frozen=True)
+class OffloaderConfig:
+    """Tunables of the runtime offloader."""
+
+    #: Independent feature lookups issued concurrently by the offloader
+    #: core; the serial dispatcher occupancy is overhead / pipeline_depth.
+    pipeline_depth: int = 8
+    #: Maximum number of dispatched-but-incomplete instructions.  The
+    #: offloader core issues in order and stalls once this window is full,
+    #: which bounds how far dispatch runs ahead of execution (and therefore
+    #: how large the queueing-delay estimates can grow).
+    max_outstanding: int = 64
+    feature_config: FeatureCollectorConfig = field(
+        default_factory=FeatureCollectorConfig)
+
+
+@dataclass
+class OffloadDecision:
+    """Everything the runtime needs to know about one offloaded instruction."""
+
+    instruction: VectorInstruction
+    resource: Resource
+    features: InstructionFeatures
+    transformed: Optional[TransformedInstruction]
+    dispatch_ns: float
+    ready_ns: float
+    start_ns: float
+    end_ns: float
+    compute_ns: float
+    data_movement_ns: float
+    overhead_ns: float
+
+
+class SSDOffloader:
+    """Per-instruction offloading engine."""
+
+    def __init__(self, platform: SSDPlatform, layout: ArrayLayout,
+                 policy: OffloadingPolicy,
+                 config: Optional[OffloaderConfig] = None) -> None:
+        self.platform = platform
+        self.layout = layout
+        self.policy = policy
+        self.config = config or OffloaderConfig()
+        self.collector = FeatureCollector(platform, layout,
+                                          self.config.feature_config)
+        self.transformer = InstructionTransformer(platform)
+        self.decisions: List[OffloadDecision] = []
+        #: In-flight queue entries: resource -> list of (uid, end time).
+        self._in_flight: Dict[Resource, List[Tuple[int, float]]] = {
+            resource: [] for resource in
+            (Resource.ISP, Resource.PUD, Resource.IFP)}
+
+    # -- Queue bookkeeping ---------------------------------------------------------
+
+    def _drain_queues(self, now: float) -> None:
+        """Retire queue entries whose completion time has passed."""
+        for resource, entries in self._in_flight.items():
+            remaining: List[Tuple[int, float]] = []
+            queue = self.platform.queues[resource]
+            for uid, end in entries:
+                if end <= now:
+                    queue.complete(uid)
+                else:
+                    remaining.append((uid, end))
+            self._in_flight[resource] = remaining
+
+    # -- Main entry point -------------------------------------------------------------
+
+    def offload(self, instruction: VectorInstruction, arrival_ns: float,
+                deps_ready_ns: float, elapsed_ns: float) -> OffloadDecision:
+        """Offload one instruction.
+
+        ``arrival_ns`` is when the offloader core can start working on the
+        instruction (after the previous dispatch), ``deps_ready_ns`` is when
+        its producers finish, and ``elapsed_ns`` is the current wall-clock
+        used for utilization-based policies.
+        """
+        platform = self.platform
+        self._drain_queues(arrival_ns)
+        pending_producer = max(0.0, deps_ready_ns - arrival_ns)
+        features = self.collector.collect(instruction, arrival_ns,
+                                          pending_producer)
+        context = PolicyContext(platform=platform, now=arrival_ns,
+                                elapsed=max(elapsed_ns, 1.0))
+        resource = self.policy.choose(instruction, features, context)
+        overhead_ns = features.collection_latency_ns
+        transformed: Optional[TransformedInstruction] = None
+        if not self.policy.is_ideal:
+            transformed = self.transformer.transform(instruction, resource)
+            overhead_ns += transformed.lookup_latency_ns
+        serial_ns = overhead_ns / max(1, self.config.pipeline_depth)
+        dispatch = platform.dispatch_core.reserve(arrival_ns, serial_ns)
+        issue_ns = dispatch.start + overhead_ns
+
+        if self.policy.is_ideal:
+            return self._execute_ideal(instruction, features, resource,
+                                       dispatch.start, issue_ns,
+                                       deps_ready_ns, overhead_ns)
+        return self._execute_real(instruction, features, resource,
+                                  transformed, dispatch.start, issue_ns,
+                                  deps_ready_ns, overhead_ns)
+
+    # -- Ideal execution (no contention, free data movement) ------------------------------
+
+    def _execute_ideal(self, instruction: VectorInstruction,
+                       features: InstructionFeatures, resource: Resource,
+                       dispatch_ns: float, issue_ns: float,
+                       deps_ready_ns: float,
+                       overhead_ns: float) -> OffloadDecision:
+        compute = features.feature(resource).expected_compute_latency_ns
+        start = max(issue_ns, deps_ready_ns)
+        end = start + compute
+        self.platform.record_compute(start, resource, instruction.op,
+                                     instruction.size_bytes,
+                                     instruction.element_bits)
+        decision = OffloadDecision(
+            instruction=instruction, resource=resource, features=features,
+            transformed=None, dispatch_ns=dispatch_ns, ready_ns=start,
+            start_ns=start, end_ns=end, compute_ns=compute,
+            data_movement_ns=0.0, overhead_ns=overhead_ns)
+        self.decisions.append(decision)
+        return decision
+
+    # -- Real execution (moves data, reserves queues) ---------------------------------------
+
+    def _execute_real(self, instruction: VectorInstruction,
+                      features: InstructionFeatures, resource: Resource,
+                      transformed: TransformedInstruction,
+                      dispatch_ns: float, issue_ns: float,
+                      deps_ready_ns: float,
+                      overhead_ns: float) -> OffloadDecision:
+        platform = self.platform
+        home = platform.home_location(resource)
+        source_pages = self.collector.operand_pages(instruction)
+        dest_pages = self.collector.destination_pages(instruction)
+
+        move_start = max(issue_ns, deps_ready_ns)
+        # Lazy coherence: a read of a page whose dirty copy lives elsewhere
+        # commits that page to flash before it can be re-read.
+        commit_end = move_start
+        for lpa in source_pages:
+            for action in platform.coherence.on_read(lpa, home):
+                commit_end = max(commit_end, platform.ensure_pages_at(
+                    move_start, [action.lpa], DataLocation.FLASH))
+        dm_end = platform.ensure_pages_at(commit_end, source_pages, home)
+        data_movement_ns = dm_end - move_start
+
+        compute = platform.compute_latency(resource, instruction.op,
+                                           instruction.size_bytes,
+                                           instruction.element_bits)
+        queue = platform.queues[resource]
+        queue.enqueue(instruction.uid, issue_ns, compute)
+        ready = max(dm_end, deps_ready_ns)
+        reservation = queue.reserve(instruction.uid, ready, compute)
+        self._in_flight[resource].append((instruction.uid, reservation.end))
+        platform.record_compute(reservation.start, resource, instruction.op,
+                                instruction.size_bytes,
+                                instruction.element_bits)
+        if resource is Resource.IFP:
+            # Ares-Flash arithmetic (notably multiplication) shuttles partial
+            # products between the flash chips and the flash controller,
+            # occupying the shared flash channels during execution
+            # (Section 6.4).  Flash-Cosmos bitwise MWS needs no channel
+            # traffic beyond the command.
+            transfers = self._ifp_channel_transfers(instruction)
+            if transfers:
+                platform.ssd.channels.channels.transfer(
+                    reservation.start,
+                    transfers * platform.page_size)
+
+        # The destination pages now live at the resource's home location.
+        for lpa in dest_pages:
+            platform.coherence.on_write(lpa, home)
+        platform.mark_produced(reservation.end, dest_pages, home)
+
+        decision = OffloadDecision(
+            instruction=instruction, resource=resource, features=features,
+            transformed=transformed, dispatch_ns=dispatch_ns, ready_ns=ready,
+            start_ns=reservation.start, end_ns=reservation.end,
+            compute_ns=compute, data_movement_ns=data_movement_ns,
+            overhead_ns=overhead_ns)
+        self.decisions.append(decision)
+        return decision
+
+    @staticmethod
+    def _ifp_channel_transfers(instruction: VectorInstruction) -> int:
+        """Flash-channel page transfers an IFP operation generates."""
+        if instruction.op in (OpType.MUL, OpType.MAC):
+            return instruction.element_bits
+        if instruction.op in (OpType.ADD, OpType.SUB):
+            return 1
+        return 0
+
+    # -- Overhead statistics (Section 4.5) ---------------------------------------------------
+
+    @property
+    def average_overhead_ns(self) -> float:
+        if not self.decisions:
+            return 0.0
+        return sum(d.overhead_ns for d in self.decisions) / len(self.decisions)
+
+    @property
+    def max_overhead_ns(self) -> float:
+        if not self.decisions:
+            return 0.0
+        return max(d.overhead_ns for d in self.decisions)

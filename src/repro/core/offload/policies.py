@@ -1,0 +1,199 @@
+"""Offloading policies: Conduit and the prior-work baselines.
+
+The paper evaluates Conduit against two classes of prior NDP offloading
+models (Section 3.2 / 5.3) plus single-resource NDP techniques:
+
+* **BW-Offloading** -- offloads each instruction to the computation resource
+  with the lowest bandwidth utilization, ignoring data-movement cost.
+* **DM-Offloading** -- offloads each instruction to the resource that
+  minimizes operand data movement, ignoring contention.
+* **ISP / PuD-SSD / Flash-Cosmos / Ares-Flash** -- single-resource NDP
+  techniques; operations the technique does not support fall back to the
+  SSD controller cores (Section 5.3).
+* **Ideal** -- assumes no queueing delays, zero data-movement latency, and
+  always picks the resource with the lowest computation latency (an upper
+  bound, not realizable).
+* **Conduit** -- the holistic cost function of
+  :mod:`repro.core.offload.cost_model`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common import OpType, Resource, SSD_RESOURCES, SimulationError
+from repro.core.compiler.ir import VectorInstruction
+from repro.core.offload.cost_model import CostFunction, CostModelConfig
+from repro.core.offload.features import InstructionFeatures
+from repro.core.platform import SSDPlatform
+
+
+@dataclass
+class PolicyContext:
+    """Runtime information handed to a policy alongside the features."""
+
+    platform: SSDPlatform
+    now: float
+    elapsed: float
+
+
+class OffloadingPolicy(abc.ABC):
+    """Base class for instruction-granularity offloading policies."""
+
+    #: Human-readable policy name used in experiment tables.
+    name: str = "policy"
+    #: Ideal policies are executed without contention or data movement.
+    is_ideal: bool = False
+
+    @abc.abstractmethod
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        """Pick the SSD computation resource for ``instruction``."""
+
+    def _supported(self, features: InstructionFeatures) -> Dict[Resource, bool]:
+        return {resource: features.feature(resource).supported
+                for resource in SSD_RESOURCES}
+
+    @staticmethod
+    def _fallback(features: InstructionFeatures) -> Resource:
+        if features.feature(Resource.ISP).supported:
+            return Resource.ISP
+        raise SimulationError("no resource supports the instruction")
+
+
+class ConduitPolicy(OffloadingPolicy):
+    """The paper's holistic cost-function policy (Equations 1 and 2)."""
+
+    name = "Conduit"
+
+    def __init__(self, cost_config: Optional[CostModelConfig] = None) -> None:
+        self.cost_function = CostFunction(cost_config)
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        target, _ = self.cost_function.select(features)
+        return target
+
+
+class IdealPolicy(OffloadingPolicy):
+    """Upper bound: lowest computation latency, no contention, free moves."""
+
+    name = "Ideal"
+    is_ideal = True
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        viable = [r for r in SSD_RESOURCES
+                  if features.feature(r).supported]
+        return min(viable, key=lambda r: (
+            features.feature(r).expected_compute_latency_ns, r.value))
+
+
+class BWOffloadingPolicy(OffloadingPolicy):
+    """Bandwidth-utilization-based offloading (TOM-style models)."""
+
+    name = "BW-Offloading"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        viable = [r for r in SSD_RESOURCES
+                  if features.feature(r).supported]
+        if not viable:
+            return self._fallback(features)
+        utilization = {r: context.platform.bandwidth_utilization(
+            r, context.elapsed) for r in viable}
+        return min(viable, key=lambda r: (utilization[r], r.value))
+
+
+class DMOffloadingPolicy(OffloadingPolicy):
+    """Data-movement-minimizing offloading (ALP-style models)."""
+
+    name = "DM-Offloading"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        viable = [r for r in SSD_RESOURCES
+                  if features.feature(r).supported]
+        if not viable:
+            return self._fallback(features)
+        return min(viable, key=lambda r: (
+            features.feature(r).data_movement_latency_ns,
+            features.feature(r).expected_compute_latency_ns, r.value))
+
+
+class ISPOnlyPolicy(OffloadingPolicy):
+    """All computation on the SSD controller cores."""
+
+    name = "ISP"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        return Resource.ISP
+
+
+class PuDOnlyPolicy(OffloadingPolicy):
+    """PuD-SSD (MIMDRAM in the SSD DRAM); unsupported ops fall back to ISP."""
+
+    name = "PuD-SSD"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        if features.feature(Resource.PUD).supported:
+            return Resource.PUD
+        return self._fallback(features)
+
+
+class FlashCosmosPolicy(OffloadingPolicy):
+    """Flash-Cosmos: in-flash bulk bitwise; everything else on ISP."""
+
+    name = "Flash-Cosmos"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        if (instruction.op.is_bitwise
+                and features.feature(Resource.IFP).supported):
+            return Resource.IFP
+        return self._fallback(features)
+
+
+class AresFlashPolicy(OffloadingPolicy):
+    """Ares-Flash: in-flash bitwise + arithmetic; fallback to ISP."""
+
+    name = "Ares-Flash"
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        if features.feature(Resource.IFP).supported:
+            return Resource.IFP
+        return self._fallback(features)
+
+
+#: Registry of instantiable policies keyed by their experiment-table names.
+POLICY_REGISTRY = {
+    ConduitPolicy.name: ConduitPolicy,
+    IdealPolicy.name: IdealPolicy,
+    BWOffloadingPolicy.name: BWOffloadingPolicy,
+    DMOffloadingPolicy.name: DMOffloadingPolicy,
+    ISPOnlyPolicy.name: ISPOnlyPolicy,
+    PuDOnlyPolicy.name: PuDOnlyPolicy,
+    FlashCosmosPolicy.name: FlashCosmosPolicy,
+    AresFlashPolicy.name: AresFlashPolicy,
+}
+
+
+def make_policy(name: str) -> OffloadingPolicy:
+    """Instantiate a policy by its experiment-table name."""
+    if name not in POLICY_REGISTRY:
+        raise SimulationError(f"unknown offloading policy '{name}'")
+    return POLICY_REGISTRY[name]()

@@ -1,0 +1,124 @@
+"""Instruction transformation unit.
+
+After the offloader picks a target resource, Conduit translates the vector
+instruction into the native ISA of that resource (Section 4.3.2):
+
+* **ISP**: ARM M-Profile Vector Extension (MVE / Helium) instructions.
+* **PuD-SSD**: the ``bbop_*`` ISA extensions of SIMDRAM / MIMDRAM / Proteus.
+* **IFP**: Flash-Cosmos multi-wordline-sensing primitives and Ares-Flash's
+  ``shift_and_add``.
+
+The transformation is a lookup in a translation table stored in SSD DRAM
+(~1.5 KiB, Section 4.5) costing ~300 ns per instruction, plus splitting the
+compile-time vector width (4096 x 32-bit, one flash page) into the smaller
+sub-operation widths the target resource supports (DRAM rows for PuD-SSD,
+32-bit MVE beats batched into SRAM tiles for ISP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common import OpType, Resource, SimulationError
+from repro.core.compiler.ir import VectorInstruction
+from repro.core.platform import SSDPlatform
+from repro.ifp.isa import IFP_SUPPORTED_OPS
+from repro.ifp.isa import primitive as ifp_primitive
+from repro.isp.isa import mnemonic as isp_mnemonic
+
+#: Lookup latency of the translation table held in SSD DRAM (Section 4.5).
+TRANSLATION_LOOKUP_NS = 300.0
+#: Bytes per translation-table entry (Section 4.5).
+TRANSLATION_ENTRY_BYTES = 4
+
+
+def pud_mnemonic(op: OpType) -> str:
+    """SIMDRAM/MIMDRAM-style bbop instruction name."""
+    return f"bbop_{op.value}"
+
+
+@dataclass
+class TransformedInstruction:
+    """The native-ISA form of one offloaded instruction."""
+
+    uid: int
+    resource: Resource
+    native_op: str
+    sub_operations: int
+    sub_operation_bytes: int
+    lookup_latency_ns: float
+
+
+class InstructionTransformer:
+    """Translates vector instructions into per-resource native forms."""
+
+    def __init__(self, platform: SSDPlatform) -> None:
+        self.platform = platform
+        self.transformations = 0
+        self.total_latency_ns = 0.0
+        self._table = self._build_table()
+
+    # -- Translation table -----------------------------------------------------
+
+    def _build_table(self) -> Dict[Tuple[OpType, Resource], str]:
+        table: Dict[Tuple[OpType, Resource], str] = {}
+        for op in OpType:
+            table[(op, Resource.ISP)] = isp_mnemonic(op)
+            if self.platform.pud.supports(op):
+                table[(op, Resource.PUD)] = pud_mnemonic(op)
+            if op in IFP_SUPPORTED_OPS:
+                table[(op, Resource.IFP)] = ifp_primitive(op)
+        return table
+
+    def table_bytes(self) -> int:
+        """Storage footprint of the translation table in SSD DRAM."""
+        return len(self._table) * TRANSLATION_ENTRY_BYTES
+
+    def native_op(self, op: OpType, resource: Resource) -> str:
+        key = (op, resource)
+        if key not in self._table:
+            raise SimulationError(
+                f"{resource.value} has no native instruction for {op.value}")
+        return self._table[key]
+
+    # -- Vector-width splitting ---------------------------------------------------
+
+    def sub_operation_bytes(self, resource: Resource) -> int:
+        """Largest chunk the target resource processes as one operation."""
+        if resource is Resource.PUD:
+            return self.platform.pud.row_bytes
+        if resource is Resource.IFP:
+            return self.platform.ifp.page_bytes
+        # ISP: MVE beats are tiny; the offloader hands the core SRAM-tile
+        # sized chunks (one flash page) and lets the core loop over beats.
+        return self.platform.page_size
+
+    def split(self, instruction: VectorInstruction,
+              resource: Resource) -> Tuple[int, int]:
+        """Return (sub_operations, bytes per sub-operation)."""
+        chunk = self.sub_operation_bytes(resource)
+        sub_operations = max(1, math.ceil(instruction.size_bytes / chunk))
+        return sub_operations, min(chunk, instruction.size_bytes)
+
+    # -- Transformation ---------------------------------------------------------------
+
+    def transform(self, instruction: VectorInstruction,
+                  resource: Resource) -> TransformedInstruction:
+        """Translate ``instruction`` for ``resource`` (charges lookup time)."""
+        native = self.native_op(instruction.op, resource)
+        sub_operations, sub_bytes = self.split(instruction, resource)
+        self.transformations += 1
+        self.total_latency_ns += TRANSLATION_LOOKUP_NS
+        return TransformedInstruction(
+            uid=instruction.uid, resource=resource, native_op=native,
+            sub_operations=sub_operations, sub_operation_bytes=sub_bytes,
+            lookup_latency_ns=TRANSLATION_LOOKUP_NS,
+        )
+
+    @property
+    def average_latency_ns(self) -> float:
+        if self.transformations == 0:
+            return 0.0
+        return self.total_latency_ns / self.transformations

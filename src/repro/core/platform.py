@@ -1,0 +1,479 @@
+"""The NDP-capable SSD platform.
+
+Composes every substrate into the system the paper simulates: the NAND SSD
+(storage, FTL, channels), the SSD-internal DRAM with its PuD compute
+capability, the controller cores (ISP), the in-flash processing unit (IFP),
+per-resource execution queues, the host CPU/GPU used by the OSP baselines,
+the energy account, the lazy-coherence directory, and the data-movement
+engine that shuttles logical pages between flash, SSD DRAM, controller SRAM
+and the host.
+
+The runtime offloader (:mod:`repro.core.offload`) asks this platform three
+kinds of questions:
+
+* *Where is this operand?* (``location_of`` / ``locations_of_pages``)
+* *What would it cost to move it / compute it there?*
+  (``estimate_move_latency`` / ``compute_latency`` -- the precomputed
+  latency tables of Section 4.5)
+* *Actually do it* (``ensure_pages_at`` / ``record_compute``), reserving the
+  shared buses and execution sub-units so contention emerges naturally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common import (DataLocation, MIB, OpType, Resource,
+                          RESOURCE_HOME_LOCATION, SimulationError)
+from repro.core.coherence import CoherenceDirectory, CoherencePolicy
+from repro.dram.config import DRAMConfig
+from repro.dram.dram import DRAMDevice
+from repro.dram.pud import PuDUnit
+from repro.energy.model import EnergyAccount
+from repro.host.config import HostCPUConfig, HostGPUConfig, HostMemoryConfig
+from repro.host.cpu import HostCPU
+from repro.host.gpu import HostGPU
+from repro.ifp.unit import IFPUnit
+from repro.isp.core import EmbeddedCoreComplex
+from repro.ssd.config import SSDConfig
+from repro.ssd.events import Server
+from repro.ssd.queues import ResourceQueueSet
+from repro.ssd.ssd import SSD
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Configuration of the full NDP platform."""
+
+    ssd: SSDConfig = field(default_factory=SSDConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    host_cpu: HostCPUConfig = field(default_factory=HostCPUConfig)
+    host_gpu: HostGPUConfig = field(default_factory=HostGPUConfig)
+    host_memory: HostMemoryConfig = field(default_factory=HostMemoryConfig)
+
+    #: Portion of SSD DRAM usable as PuD compute operand space; the rest
+    #: holds FTL metadata and the page cache (Section 2.2).  Dirty operands
+    #: are lazily flushed to flash when evicted from this window.
+    dram_compute_window_bytes: int = 64 * MIB
+    #: Controller SRAM / register space usable for ISP operands.
+    sram_window_bytes: int = 8 * MIB
+    #: Host page-cache budget for SSD-resident data (OSP baselines).
+    host_cache_bytes: int = 128 * MIB
+
+    coherence_policy: CoherencePolicy = CoherencePolicy.LAZY
+
+
+class _LocationWindow:
+    """LRU-managed capacity window for a temporary operand location."""
+
+    def __init__(self, name: str, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise SimulationError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.evictions = 0
+
+    def __contains__(self, lpa: int) -> bool:
+        return lpa in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def touch(self, lpa: int) -> None:
+        if lpa in self._pages:
+            self._pages.move_to_end(lpa)
+
+    def add(self, lpa: int) -> List[int]:
+        """Insert a page; return the pages evicted to make room."""
+        evicted: List[int] = []
+        if lpa in self._pages:
+            self._pages.move_to_end(lpa)
+            return evicted
+        self._pages[lpa] = True
+        while len(self._pages) > self.capacity_pages:
+            victim, _ = self._pages.popitem(last=False)
+            evicted.append(victim)
+            self.evictions += 1
+        return evicted
+
+    def remove(self, lpa: int) -> None:
+        self._pages.pop(lpa, None)
+
+
+@dataclass
+class DataMovementStats:
+    """Aggregate data-movement accounting used by Fig. 4 and Fig. 7(b)."""
+
+    flash_to_dram_pages: int = 0
+    flash_to_sram_pages: int = 0
+    dram_to_sram_pages: int = 0
+    sram_to_dram_pages: int = 0
+    writeback_pages: int = 0
+    host_pages: int = 0
+    internal_latency_ns: float = 0.0
+    host_latency_ns: float = 0.0
+    flash_read_latency_ns: float = 0.0
+
+    @property
+    def internal_pages(self) -> int:
+        return (self.flash_to_dram_pages + self.flash_to_sram_pages +
+                self.dram_to_sram_pages + self.sram_to_dram_pages +
+                self.writeback_pages)
+
+
+class SSDPlatform:
+    """The complete simulated system."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+        self.config = config or PlatformConfig()
+        ssd_config = self.config.ssd
+        self.ssd = SSD(ssd_config)
+        self.dram = DRAMDevice(self.config.dram)
+        self.pud = PuDUnit(self.dram)
+        self.isp = EmbeddedCoreComplex(ssd_config.controller,
+                                       ssd_config.energy)
+        self.ifp = IFPUnit(ssd_config.nand, ssd_config.energy)
+        self.host_cpu = HostCPU(self.config.host_cpu)
+        self.host_gpu = HostGPU(self.config.host_gpu)
+        self.energy = EnergyAccount(ssd_config.energy,
+                                    self.config.host_memory)
+        self.coherence = CoherenceDirectory(self.config.coherence_policy)
+        self.queues = ResourceQueueSet(
+            isp_parallelism=ssd_config.controller.compute_cores,
+            pud_parallelism=self.config.dram.banks,
+            ifp_parallelism=self.ifp.die_parallelism,
+        )
+        #: The controller core running the SSD offloader itself.
+        self.dispatch_core = Server("offloader-core")
+
+        page = ssd_config.nand.page_size_bytes
+        self._page_size = page
+        self._dram_window = _LocationWindow(
+            "ssd-dram", max(1, self.config.dram_compute_window_bytes // page))
+        self._sram_window = _LocationWindow(
+            "ctrl-sram", max(1, self.config.sram_window_bytes // page))
+        self._host_window = _LocationWindow(
+            "host-cache", max(1, self.config.host_cache_bytes // page))
+        self._residence: Dict[int, DataLocation] = {}
+        self.movement = DataMovementStats()
+        self._move_table = self._build_move_table()
+
+    # ------------------------------------------------------------------------
+    # Dataset placement
+    # ------------------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    def setup_dataset(self, lpas: Iterable[int], *,
+                      colocated_groups: Optional[List[List[int]]] = None
+                      ) -> None:
+        """Place the application dataset on flash (zero-time setup)."""
+        self.ssd.populate(lpas, colocated_groups=colocated_groups)
+
+    # ------------------------------------------------------------------------
+    # Operand locations
+    # ------------------------------------------------------------------------
+
+    def location_of(self, lpa: int) -> DataLocation:
+        return self._residence.get(lpa, DataLocation.FLASH)
+
+    def locations_of_pages(self, lpas: Iterable[int]
+                           ) -> Dict[DataLocation, int]:
+        """Histogram of locations for a set of pages."""
+        histogram: Dict[DataLocation, int] = {}
+        for lpa in lpas:
+            location = self.location_of(lpa)
+            histogram[location] = histogram.get(location, 0) + 1
+        return histogram
+
+    def _window_for(self, location: DataLocation) -> Optional[_LocationWindow]:
+        if location is DataLocation.SSD_DRAM:
+            return self._dram_window
+        if location is DataLocation.CTRL_SRAM:
+            return self._sram_window
+        if location is DataLocation.HOST:
+            return self._host_window
+        return None
+
+    # ------------------------------------------------------------------------
+    # Precomputed data-movement latency table (Section 4.5)
+    # ------------------------------------------------------------------------
+
+    def _build_move_table(self) -> Dict[Tuple[DataLocation, DataLocation],
+                                        float]:
+        nand = self.config.ssd.nand
+        channels = self.ssd.channels
+        dram = self.dram
+        nvme = self.ssd.nvme
+        page = self._page_size
+        flash_out = channels.uncontended_read_latency(transfer_out=True)
+        flash_program = channels.uncontended_program_latency()
+        dram_access = dram.uncontended_access_latency(page)
+        pcie = nvme.host_transfer_latency(page)
+        table = {
+            (DataLocation.FLASH, DataLocation.SSD_DRAM):
+                flash_out + dram_access,
+            (DataLocation.FLASH, DataLocation.CTRL_SRAM): flash_out,
+            (DataLocation.FLASH, DataLocation.HOST): flash_out + pcie,
+            (DataLocation.SSD_DRAM, DataLocation.CTRL_SRAM): dram_access,
+            (DataLocation.CTRL_SRAM, DataLocation.SSD_DRAM): dram_access,
+            (DataLocation.SSD_DRAM, DataLocation.FLASH):
+                dram_access + flash_program,
+            (DataLocation.CTRL_SRAM, DataLocation.FLASH): flash_program,
+            (DataLocation.SSD_DRAM, DataLocation.HOST): dram_access + pcie,
+            (DataLocation.CTRL_SRAM, DataLocation.HOST): pcie,
+            (DataLocation.HOST, DataLocation.FLASH): pcie + flash_program,
+            (DataLocation.HOST, DataLocation.SSD_DRAM): pcie + dram_access,
+            (DataLocation.HOST, DataLocation.CTRL_SRAM): pcie,
+        }
+        for location in DataLocation:
+            table[(location, location)] = 0.0
+        return table
+
+    def estimate_move_latency(self, source: DataLocation,
+                              destination: DataLocation,
+                              pages: int = 1) -> float:
+        """Uncontended latency to move ``pages`` pages (lookup table)."""
+        per_page = self._move_table[(source, destination)]
+        return per_page * max(0, pages)
+
+    def move_table_lookup_latency_ns(self) -> float:
+        """Latency of one lookup of the precomputed table (Section 4.5)."""
+        return 100.0
+
+    # ------------------------------------------------------------------------
+    # Data movement (reserves buses, charges energy)
+    # ------------------------------------------------------------------------
+
+    def ensure_pages_at(self, now: float, lpas: Iterable[int],
+                        destination: DataLocation) -> float:
+        """Move every page in ``lpas`` to ``destination``; return finish time.
+
+        Pages already resident at the destination only refresh their LRU
+        position.  Dirty pages owned elsewhere are committed to flash first
+        (lazy coherence).  Evictions caused by capacity pressure consume
+        channel bandwidth but are written back asynchronously, so they do
+        not extend the returned finish time.
+        """
+        finish = now
+        for lpa in lpas:
+            finish = max(finish, self._move_page(now, lpa, destination))
+        return finish
+
+    def _move_page(self, now: float, lpa: int,
+                   destination: DataLocation) -> float:
+        source = self.location_of(lpa)
+        if source is destination:
+            window = self._window_for(destination)
+            if window is not None:
+                window.touch(lpa)
+            return now
+        finish = self._transfer_page(now, lpa, source, destination)
+        self._set_residence(lpa, source, destination, now)
+        return finish
+
+    def _set_residence(self, lpa: int, source: DataLocation,
+                       destination: DataLocation, now: float) -> None:
+        source_window = self._window_for(source)
+        if source_window is not None:
+            source_window.remove(lpa)
+        self._residence[lpa] = destination
+        destination_window = self._window_for(destination)
+        if destination_window is None:
+            return
+        for victim in destination_window.add(lpa):
+            self._evict_page(now, victim)
+
+    def mark_produced(self, now: float, lpas: Iterable[int],
+                      location: DataLocation) -> None:
+        """Record that ``lpas`` were just produced at ``location``.
+
+        Used after a computation resource writes its destination pages: the
+        pages now reside at the resource's home location (dirty, per the
+        coherence directory) and occupy its capacity window, possibly
+        evicting older pages.
+        """
+        window = self._window_for(location)
+        for lpa in lpas:
+            source_window = self._window_for(self.location_of(lpa))
+            if source_window is not None and source_window is not window:
+                source_window.remove(lpa)
+            self._residence[lpa] = location
+            if window is not None:
+                for victim in window.add(lpa):
+                    self._evict_page(now, victim)
+
+    def _evict_page(self, now: float, lpa: int) -> None:
+        """Evict a page from a temporary location back to flash."""
+        location = self.location_of(lpa)
+        if location is DataLocation.FLASH:
+            return
+        actions = self.coherence.on_evict(lpa)
+        if actions:
+            # Dirty page: asynchronous write-back consumes flash bandwidth.
+            self._transfer_page(now, lpa, location, DataLocation.FLASH,
+                                writeback=True)
+        self._residence[lpa] = DataLocation.FLASH
+
+    def _dram_address(self, lpa: int) -> int:
+        """Spread logical pages across DRAM banks for realistic parallelism."""
+        span = self.config.dram.capacity_bytes - self._page_size
+        return (lpa * self._page_size) % max(self._page_size, span)
+
+    def _transfer_page(self, now: float, lpa: int, source: DataLocation,
+                       destination: DataLocation, *,
+                       writeback: bool = False) -> float:
+        """Reserve the buses needed to move one page; charge energy."""
+        stats = self.movement
+        finish = now
+        if source is DataLocation.FLASH:
+            access = self.ssd.read_page(now, lpa, transfer_out=True)
+            self.energy.charge_flash_read()
+            self.energy.charge_channel_dma()
+            finish = access.end_ns
+            stats.flash_read_latency_ns += finish - now
+            if destination is DataLocation.SSD_DRAM:
+                dram_access = self.dram.write(
+                    finish, self._dram_address(lpa), self._page_size)
+                self.energy.charge_dram_access(self._page_size)
+                finish = dram_access.end_ns
+                stats.flash_to_dram_pages += 1
+            elif destination is DataLocation.CTRL_SRAM:
+                stats.flash_to_sram_pages += 1
+            elif destination is DataLocation.HOST:
+                transfer = self.ssd.nvme.host_transfer(finish,
+                                                       self._page_size,
+                                                       "ssd-to-host")
+                self.energy.charge_pcie(self._page_size)
+                self.energy.charge_host_dram(self._page_size)
+                finish = transfer.end_ns
+                stats.host_pages += 1
+                stats.host_latency_ns += finish - now
+        elif destination is DataLocation.FLASH:
+            if source is DataLocation.SSD_DRAM:
+                read = self.dram.read(now, self._dram_address(lpa),
+                                      self._page_size)
+                self.energy.charge_dram_access(self._page_size)
+                finish = read.end_ns
+            elif source is DataLocation.HOST:
+                transfer = self.ssd.nvme.host_transfer(now, self._page_size,
+                                                       "host-to-ssd")
+                self.energy.charge_pcie(self._page_size)
+                finish = transfer.end_ns
+            access = self.ssd.write_page(finish, lpa)
+            self.energy.charge_flash_program()
+            self.energy.charge_channel_dma()
+            finish = access.end_ns
+            stats.writeback_pages += 1
+        else:
+            # DRAM <-> SRAM <-> host transfers go over the SSD DRAM bus
+            # and/or PCIe.
+            if DataLocation.HOST in (source, destination):
+                transfer = self.ssd.nvme.host_transfer(
+                    now, self._page_size,
+                    "ssd-to-host" if destination is DataLocation.HOST
+                    else "host-to-ssd")
+                self.energy.charge_pcie(self._page_size)
+                finish = transfer.end_ns
+                stats.host_pages += 1
+                stats.host_latency_ns += finish - now
+            else:
+                access = self.dram.read(now, self._dram_address(lpa),
+                                        self._page_size)
+                self.energy.charge_dram_access(self._page_size)
+                finish = access.end_ns
+                if destination is DataLocation.CTRL_SRAM:
+                    stats.dram_to_sram_pages += 1
+                else:
+                    stats.sram_to_dram_pages += 1
+        if not writeback and DataLocation.HOST not in (source, destination):
+            stats.internal_latency_ns += finish - now
+        return finish
+
+    # ------------------------------------------------------------------------
+    # Computation latency / energy / execution
+    # ------------------------------------------------------------------------
+
+    def supports(self, resource: Resource, op: OpType) -> bool:
+        if resource is Resource.ISP:
+            return self.isp.supports(op)
+        if resource is Resource.PUD:
+            return self.pud.supports(op)
+        if resource is Resource.IFP:
+            return self.ifp.supports(op)
+        return True
+
+    def compute_latency(self, resource: Resource, op: OpType,
+                        size_bytes: int, element_bits: int) -> float:
+        """Expected computation latency of one instruction on ``resource``."""
+        if resource is Resource.ISP:
+            return self.isp.operation_latency(op, size_bytes, element_bits)
+        if resource is Resource.PUD:
+            return self.pud.operation_latency(op, size_bytes, element_bits)
+        if resource is Resource.IFP:
+            return self.ifp.operation_latency(op, size_bytes, element_bits)
+        if resource is Resource.HOST_CPU:
+            return self.host_cpu.operation_latency(op, size_bytes,
+                                                   element_bits)
+        return self.host_gpu.operation_latency(op, size_bytes, element_bits)
+
+    def compute_energy(self, resource: Resource, op: OpType,
+                       size_bytes: int, element_bits: int) -> float:
+        if resource is Resource.ISP:
+            return self.isp.operation_energy(op, size_bytes, element_bits)
+        if resource is Resource.PUD:
+            return self.pud.operation_energy(op, size_bytes, element_bits)
+        if resource is Resource.IFP:
+            return self.ifp.operation_energy(op, size_bytes, element_bits)
+        if resource is Resource.HOST_CPU:
+            return self.host_cpu.operation_energy(op, size_bytes,
+                                                  element_bits)
+        return self.host_gpu.operation_energy(op, size_bytes, element_bits)
+
+    def record_compute(self, now: float, resource: Resource, op: OpType,
+                       size_bytes: int, element_bits: int) -> float:
+        """Record execution on the compute unit; returns its latency."""
+        if resource is Resource.ISP:
+            timing = self.isp.execute(now, op, size_bytes, element_bits)
+        elif resource is Resource.PUD:
+            timing = self.pud.execute(now, op, size_bytes, element_bits)
+        elif resource is Resource.IFP:
+            timing = self.ifp.execute(now, op, size_bytes, element_bits)
+        elif resource is Resource.HOST_CPU:
+            timing = self.host_cpu.execute(now, op, size_bytes, element_bits)
+        else:
+            timing = self.host_gpu.execute(now, op, size_bytes, element_bits)
+        self.energy.add_compute(
+            resource, self.compute_energy(resource, op, size_bytes,
+                                          element_bits))
+        return timing.latency_ns
+
+    # ------------------------------------------------------------------------
+    # Utilization snapshot (BW-Offloading input)
+    # ------------------------------------------------------------------------
+
+    def bandwidth_utilization(self, resource: Resource,
+                              elapsed: float) -> float:
+        """Approximate bandwidth utilization of each resource's data path."""
+        if elapsed <= 0:
+            return 0.0
+        if resource is Resource.IFP:
+            return self.ssd.channels.die_utilization(elapsed)
+        if resource is Resource.PUD:
+            return self.dram.utilization(elapsed)
+        if resource is Resource.ISP:
+            return self.queues[Resource.ISP].utilization(elapsed)
+        return self.ssd.nvme.pcie.utilization(elapsed)
+
+    # ------------------------------------------------------------------------
+    # Home locations
+    # ------------------------------------------------------------------------
+
+    @staticmethod
+    def home_location(resource: Resource) -> DataLocation:
+        return RESOURCE_HOME_LOCATION[resource]

@@ -1,0 +1,220 @@
+"""End-to-end execution engines.
+
+Two engines live here:
+
+* :class:`ConduitRuntime` -- the NDP path.  It places the dataset on flash,
+  ships the Conduit binary to the SSD through the NVMe firmware-update
+  commands, switches the SSD into computation mode, and then drives the SSD
+  offloader over the instruction stream, respecting data dependencies and
+  letting the per-resource execution queues, shared buses and coherence
+  machinery determine timing.  This is the engine used by Conduit itself,
+  the Ideal upper bound, BW-/DM-Offloading and the single-resource NDP
+  baselines (they only differ in the offloading policy).
+* :class:`HostRuntime` -- the outside-storage-processing (OSP) path used by
+  the host CPU and GPU baselines: operands stream from the SSD to the host
+  over NVMe/PCIe (through a capacity-limited host page cache) and compute
+  runs on the analytical host models.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common import DataLocation, Resource, SimulationError
+from repro.core.compiler.binary import BinaryEncoder, transfer_binary
+from repro.core.compiler.ir import VectorProgram
+from repro.core.layout import ArrayLayout
+from repro.core.metrics import (ExecutionBreakdown, ExecutionResult,
+                                InstructionRecord)
+from repro.core.offload.offloader import OffloaderConfig, SSDOffloader
+from repro.core.offload.policies import OffloadingPolicy
+from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.ssd.events import Server
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of the execution engines."""
+
+    offloader: OffloaderConfig = field(default_factory=OffloaderConfig)
+    #: Whether to model the one-time binary download over NVMe.
+    transfer_binary: bool = True
+    #: Whether to place operand arrays colocated per block so in-flash
+    #: bitwise operations find their operands in one block (Section 4.4).
+    colocate_for_ifp: bool = True
+
+
+class ConduitRuntime:
+    """Executes a vectorized program on the NDP-capable SSD platform."""
+
+    def __init__(self, platform: Optional[SSDPlatform] = None,
+                 config: Optional[RuntimeConfig] = None) -> None:
+        self.platform = platform or SSDPlatform()
+        self.config = config or RuntimeConfig()
+
+    # -- Setup helpers -----------------------------------------------------------
+
+    def _build_layout(self, program: VectorProgram) -> ArrayLayout:
+        layout = ArrayLayout(self.platform.page_size)
+        layout.place_all(sorted(program.arrays.values(),
+                                key=lambda spec: spec.name))
+        return layout
+
+    def _place_dataset(self, layout: ArrayLayout) -> None:
+        groups = None
+        if self.config.colocate_for_ifp:
+            pages_per_block = self.platform.config.ssd.nand.pages_per_block
+            groups = layout.colocation_groups(pages_per_block)
+        self.platform.setup_dataset(layout.all_lpas(),
+                                    colocated_groups=groups)
+
+    def _ship_binary(self, program: VectorProgram) -> float:
+        if not self.config.transfer_binary:
+            return 0.0
+        binary = BinaryEncoder().encode(program)
+        return transfer_binary(self.platform.ssd.nvme, binary, now=0.0)
+
+    # -- Execution ----------------------------------------------------------------
+
+    def execute(self, program: VectorProgram, policy: OffloadingPolicy,
+                workload_name: Optional[str] = None) -> ExecutionResult:
+        """Execute ``program`` under ``policy``; return the full result."""
+        if not program.instructions:
+            raise SimulationError("cannot execute an empty program")
+        platform = self.platform
+        layout = self._build_layout(program)
+        self._place_dataset(layout)
+        start_ns = self._ship_binary(program)
+        platform.ssd.enter_computation_mode()
+
+        offloader = SSDOffloader(platform, layout, policy,
+                                 self.config.offloader)
+        completion: Dict[int, float] = {}
+        records: List[InstructionRecord] = []
+        outstanding: List[float] = []  # completion times, kept as a heap
+        max_outstanding = self.config.offloader.max_outstanding
+        makespan = start_ns
+        for instruction in program.instructions:
+            deps_ready = max((completion[d] for d in instruction.depends_on
+                              if d in completion), default=start_ns)
+            # The offloader core issues instructions in order; its current
+            # position in virtual time is when this instruction arrives.
+            arrival = max(start_ns, platform.dispatch_core.free_at)
+            # The dispatch window bounds how far issue runs ahead of
+            # execution: once it is full, dispatch stalls until the oldest
+            # outstanding instruction completes.
+            while len(outstanding) >= max_outstanding:
+                arrival = max(arrival, heapq.heappop(outstanding))
+            decision = offloader.offload(instruction, arrival_ns=arrival,
+                                         deps_ready_ns=deps_ready,
+                                         elapsed_ns=max(makespan, 1.0))
+            heapq.heappush(outstanding, decision.end_ns)
+            completion[instruction.uid] = decision.end_ns
+            makespan = max(makespan, decision.end_ns)
+            records.append(InstructionRecord(
+                uid=instruction.uid, op=instruction.op,
+                resource=decision.resource,
+                dispatch_ns=decision.dispatch_ns, ready_ns=decision.ready_ns,
+                start_ns=decision.start_ns, end_ns=decision.end_ns,
+                compute_ns=decision.compute_ns,
+                data_movement_ns=decision.data_movement_ns,
+                overhead_ns=decision.overhead_ns))
+
+        platform.ssd.enter_regular_io_mode()
+        energy_config = platform.config.ssd.energy
+        platform.energy.charge_static(
+            makespan - start_ns,
+            energy_config.ssd_active_power_w + energy_config.host_idle_power_w,
+            label="system-static")
+        movement = platform.movement
+        breakdown = ExecutionBreakdown(
+            compute_ns=sum(record.compute_ns for record in records),
+            host_data_movement_ns=movement.host_latency_ns,
+            internal_data_movement_ns=max(
+                0.0, movement.internal_latency_ns -
+                movement.flash_read_latency_ns),
+            flash_read_ns=movement.flash_read_latency_ns)
+        return ExecutionResult(
+            workload=workload_name or program.name, policy=policy.name,
+            total_time_ns=makespan - start_ns, records=records,
+            energy=platform.energy.breakdown(), breakdown=breakdown,
+            offload_overhead_avg_ns=offloader.average_overhead_ns,
+            offload_overhead_max_ns=offloader.max_overhead_ns)
+
+
+class HostRuntime:
+    """Executes a vectorized program on the host CPU or GPU (OSP baseline)."""
+
+    def __init__(self, platform: Optional[SSDPlatform] = None,
+                 config: Optional[RuntimeConfig] = None) -> None:
+        self.platform = platform or SSDPlatform()
+        self.config = config or RuntimeConfig()
+
+    def execute(self, program: VectorProgram, device: Resource,
+                workload_name: Optional[str] = None) -> ExecutionResult:
+        if device not in (Resource.HOST_CPU, Resource.HOST_GPU):
+            raise SimulationError(f"{device} is not a host device")
+        if not program.instructions:
+            raise SimulationError("cannot execute an empty program")
+        platform = self.platform
+        layout = ArrayLayout(platform.page_size)
+        layout.place_all(sorted(program.arrays.values(),
+                                key=lambda spec: spec.name))
+        platform.setup_dataset(layout.all_lpas())
+
+        compute_server = Server(f"{device.value}-pipeline")
+        completion: Dict[int, float] = {}
+        records: List[InstructionRecord] = []
+        makespan = 0.0
+        for instruction in program.instructions:
+            deps_ready = max((completion[d] for d in instruction.depends_on
+                              if d in completion), default=0.0)
+            # Stream operand pages to host memory over NVMe / PCIe.
+            pages: List[int] = []
+            for ref in instruction.array_sources:
+                pages.extend(layout.pages_of(ref, instruction.element_bits))
+            dm_start = deps_ready
+            dm_end = platform.ensure_pages_at(dm_start, pages,
+                                              DataLocation.HOST)
+            compute = platform.compute_latency(device, instruction.op,
+                                               instruction.size_bytes,
+                                               instruction.element_bits)
+            reservation = compute_server.reserve(max(dm_end, deps_ready),
+                                                 compute)
+            platform.record_compute(reservation.start, device,
+                                    instruction.op, instruction.size_bytes,
+                                    instruction.element_bits)
+            if instruction.dest is not None:
+                dest_pages = layout.pages_of(instruction.dest,
+                                             instruction.element_bits)
+                for lpa in dest_pages:
+                    platform.coherence.on_write(lpa, DataLocation.HOST)
+                platform.mark_produced(reservation.end, dest_pages,
+                                       DataLocation.HOST)
+            completion[instruction.uid] = reservation.end
+            makespan = max(makespan, reservation.end)
+            records.append(InstructionRecord(
+                uid=instruction.uid, op=instruction.op, resource=device,
+                dispatch_ns=dm_start, ready_ns=dm_end,
+                start_ns=reservation.start, end_ns=reservation.end,
+                compute_ns=compute, data_movement_ns=dm_end - dm_start,
+                overhead_ns=0.0))
+
+        platform.energy.charge_static(
+            makespan, platform.config.ssd.energy.ssd_active_power_w,
+            label="ssd-static")
+        movement = platform.movement
+        breakdown = ExecutionBreakdown(
+            compute_ns=sum(record.compute_ns for record in records),
+            host_data_movement_ns=movement.host_latency_ns,
+            internal_data_movement_ns=max(
+                0.0, movement.internal_latency_ns -
+                movement.flash_read_latency_ns),
+            flash_read_ns=movement.flash_read_latency_ns)
+        name = "CPU" if device is Resource.HOST_CPU else "GPU"
+        return ExecutionResult(
+            workload=workload_name or program.name, policy=name,
+            total_time_ns=makespan, records=records,
+            energy=platform.energy.breakdown(), breakdown=breakdown)

@@ -1,0 +1,11 @@
+"""SSD-internal DRAM substrate and processing-using-DRAM (PuD-SSD)."""
+
+from repro.dram.bank import BankStatistics, DRAMBank
+from repro.dram.config import DRAMConfig
+from repro.dram.dram import DRAMAccessTiming, DRAMDevice
+from repro.dram.pud import PUD_SUPPORTED_OPS, PuDOperationTiming, PuDUnit
+
+__all__ = [
+    "BankStatistics", "DRAMBank", "DRAMConfig", "DRAMAccessTiming",
+    "DRAMDevice", "PUD_SUPPORTED_OPS", "PuDOperationTiming", "PuDUnit",
+]

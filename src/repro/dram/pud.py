@@ -1,0 +1,140 @@
+"""Processing-using-DRAM in the SSD (PuD-SSD).
+
+Models the compute capability that SIMDRAM / MIMDRAM / Proteus provide on
+top of the Ambit substrate (Section 2.2): bulk bitwise operations via
+(triple-)row activation, RowClone bulk copy, and bit-serial arithmetic built
+from majority/AND/OR/NOT steps.
+
+The paper states PuD-SSD supports 16 operations including arithmetic,
+predication and relational operations (Section 4.3.2, "Operation Type").
+Operands must reside in SSD DRAM; moving them there from flash is the
+responsibility of the platform's data-movement engine, not of this model.
+
+Latency model
+-------------
+* A bulk bitwise operation on one row pair costs ``Tbbop`` (49 ns).
+* An n-bit addition costs ``add_steps_per_bit * n`` bbop steps
+  (bit-serial carry propagation, SIMDRAM-style).
+* An n-bit multiplication costs ``mul_steps_per_bit_squared * n^2`` steps
+  (shift-and-add over bit-serial adders).
+* Rows in different banks operate concurrently, so a vector spanning
+  multiple rows is spread over the banks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.common import OpType, SimulationError
+from repro.dram.config import DRAMConfig
+from repro.dram.dram import DRAMDevice
+
+
+#: Operations PuD-SSD supports natively (16 operations; SIMDRAM/MIMDRAM/
+#: Proteus ISA extensions such as ``bbop_op``).
+PUD_SUPPORTED_OPS: FrozenSet[OpType] = frozenset({
+    OpType.AND, OpType.OR, OpType.XOR, OpType.NOT, OpType.NAND, OpType.NOR,
+    OpType.MAJ, OpType.SHL, OpType.SHR,
+    OpType.ADD, OpType.SUB, OpType.MUL, OpType.MAC,
+    OpType.CMP_EQ, OpType.CMP_LT, OpType.CMP_GT, OpType.SELECT,
+    OpType.COPY, OpType.REDUCE_ADD,
+})
+
+
+@dataclass
+class PuDOperationTiming:
+    """Timing of one PuD operation."""
+
+    start_ns: float
+    end_ns: float
+    rows: int
+    steps_per_row: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class PuDUnit:
+    """Processing-using-DRAM execution model over a :class:`DRAMDevice`."""
+
+    #: bbop steps per element bit, keyed by operation.
+    _STEP_MODEL: Dict[OpType, str] = {}
+
+    def __init__(self, dram: DRAMDevice) -> None:
+        self.dram = dram
+        self.config: DRAMConfig = dram.config
+        self.operations = 0
+        self.total_busy_ns = 0.0
+        self.energy_nj = 0.0
+
+    # -- Capability and latency estimation ---------------------------------------
+
+    @staticmethod
+    def supports(op: OpType) -> bool:
+        return op in PUD_SUPPORTED_OPS
+
+    @property
+    def row_bytes(self) -> int:
+        """Maximum data one bbop step covers (one DRAM row)."""
+        return self.config.row_size_bytes
+
+    def steps_for(self, op: OpType, element_bits: int) -> int:
+        """Number of bbop row-activation steps one row-worth of data needs."""
+        if not self.supports(op):
+            raise SimulationError(f"PuD-SSD does not support {op.value}")
+        if op in (OpType.COPY,):
+            return 1  # RowClone: two back-to-back activations, ~1 step
+        if op.is_bitwise:
+            # AND/OR/NOT/XOR/MAJ map to 1-3 triple-row activations.
+            return 3 if op in (OpType.XOR, OpType.NAND, OpType.NOR) else 1
+        if op in (OpType.ADD, OpType.SUB, OpType.CMP_EQ, OpType.CMP_LT,
+                  OpType.CMP_GT, OpType.SELECT, OpType.REDUCE_ADD):
+            return max(1, int(math.ceil(
+                self.config.add_steps_per_bit * element_bits)))
+        if op in (OpType.MUL, OpType.MAC):
+            return max(1, int(math.ceil(
+                self.config.mul_steps_per_bit_squared * element_bits ** 2)))
+        if op in (OpType.SHL, OpType.SHR):
+            return max(1, element_bits // 2)
+        raise SimulationError(f"no PuD step model for {op.value}")
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        """Uncontended latency of an operation over ``size_bytes`` of data.
+
+        Rows are spread across the available banks, which operate in
+        parallel; rows beyond the bank count serialize.
+        """
+        rows = max(1, math.ceil(size_bytes / self.row_bytes))
+        steps = self.steps_for(op, element_bits)
+        waves = math.ceil(rows / self.config.banks)
+        return waves * steps * self.config.bbop_latency_ns
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        rows = max(1, math.ceil(size_bytes / self.row_bytes))
+        steps = self.steps_for(op, element_bits)
+        return rows * steps * self.config.bbop_energy_nj
+
+    # -- Execution (reserves banks) ----------------------------------------------
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> PuDOperationTiming:
+        """Execute an operation, reserving DRAM banks for its duration."""
+        if size_bytes <= 0:
+            raise SimulationError("PuD operation size must be positive")
+        rows = max(1, math.ceil(size_bytes / self.row_bytes))
+        steps = self.steps_for(op, element_bits)
+        finish = now
+        for row_index in range(rows):
+            bank = self.dram.banks[row_index % self.config.banks]
+            done = bank.bulk_bitwise_operation(now, steps)
+            finish = max(finish, done)
+        self.operations += 1
+        self.total_busy_ns += finish - now
+        self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
+        return PuDOperationTiming(start_ns=now, end_ns=finish, rows=rows,
+                                  steps_per_row=steps)

@@ -1,0 +1,5 @@
+"""Energy accounting for computation and data movement."""
+
+from repro.energy.model import EnergyAccount, EnergyBreakdown
+
+__all__ = ["EnergyAccount", "EnergyBreakdown"]

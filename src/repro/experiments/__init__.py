@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per table/figure of the evaluation."""
+
+from repro.experiments.fig4_case_study import run_case_study
+from repro.experiments.fig5_motivation import run_motivation
+from repro.experiments.fig7_speedup_energy import Fig7Results, run_fig7
+from repro.experiments.fig8_tail_latency import run_tail_latency
+from repro.experiments.fig9_offload_decisions import run_offload_decisions
+from repro.experiments.fig10_timeline import phase_summary, run_timeline
+from repro.experiments.overheads import run_overheads
+from repro.experiments.report import format_table, nested_to_rows, to_json
+from repro.experiments.runner import (FIG5_POLICIES, FIG7_POLICIES,
+                                      ExperimentConfig, ExperimentRunner,
+                                      energy_table, experiment_platform_config,
+                                      speedup_table)
+from repro.experiments.table3_workloads import run_table3
+
+__all__ = [
+    "run_case_study", "run_motivation", "Fig7Results", "run_fig7",
+    "run_tail_latency", "run_offload_decisions", "phase_summary",
+    "run_timeline", "run_overheads", "format_table", "nested_to_rows",
+    "to_json", "FIG5_POLICIES", "FIG7_POLICIES", "ExperimentConfig",
+    "ExperimentRunner", "energy_table", "experiment_platform_config",
+    "speedup_table", "run_table3",
+]

@@ -1,0 +1,106 @@
+"""Fig. 4 -- case study on offloading computations across SSD resources.
+
+Reproduces the motivational case study of Section 3.1: for an I/O-intensive,
+a more compute-intensive and a mixed workload, execute under four models --
+outside-storage processing (OSP, host CPU), in-storage processing (ISP
+only), in-flash processing (IFP only) and a *naive* IFP+ISP combination that
+alternates between the two without considering cost -- and report execution
+time normalized to OSP together with its breakdown (compute, host-SSD data
+movement, SSD-internal data movement, flash read).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common import Resource
+from repro.core.compiler.ir import VectorInstruction
+from repro.core.metrics import ExecutionResult
+from repro.core.offload.features import InstructionFeatures
+from repro.core.offload.policies import (AresFlashPolicy, ISPOnlyPolicy,
+                                         OffloadingPolicy, PolicyContext)
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.report import format_table
+from repro.workloads import (Heat3DWorkload, LLMTrainingWorkload, Workload,
+                             XORFilterWorkload)
+
+#: Representative workload per Fig. 4 category.
+CATEGORY_WORKLOADS = {
+    "I/O-Intensive": XORFilterWorkload,
+    "More Compute-Intensive": Heat3DWorkload,
+    "Mixed": LLMTrainingWorkload,
+}
+
+EXECUTION_MODELS = ("OSP", "ISP", "IFP", "IFP+ISP")
+
+
+class NaiveIFPISPPolicy(OffloadingPolicy):
+    """Naively alternate between IFP and ISP without any cost awareness.
+
+    This is the "naively combining IFP and ISP" configuration of the case
+    study: supported operations alternate between the two resources, which
+    adds inter-resource data movement and can hurt I/O-intensive workloads.
+    """
+
+    name = "IFP+ISP"
+
+    def __init__(self) -> None:
+        self._toggle = False
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        ifp_ok = features.feature(Resource.IFP).supported
+        if not ifp_ok:
+            return Resource.ISP
+        self._toggle = not self._toggle
+        return Resource.IFP if self._toggle else Resource.ISP
+
+
+def _breakdown_row(category: str, model: str, result: ExecutionResult,
+                   osp_time: float) -> Dict[str, object]:
+    shares = result.breakdown.normalized()
+    normalized = result.total_time_ns / osp_time if osp_time else 0.0
+    return {
+        "category": category,
+        "model": model,
+        "normalized_time": normalized,
+        "compute": normalized * shares["compute"],
+        "host_data_movement": normalized * shares["host_data_movement"],
+        "internal_data_movement":
+            normalized * shares["internal_data_movement"],
+        "flash_read": normalized * shares["flash_read"],
+    }
+
+
+def run_case_study(config: Optional[ExperimentConfig] = None
+                   ) -> List[Dict[str, object]]:
+    """Run the Fig. 4 case study; returns one row per (category, model)."""
+    config = config or ExperimentConfig()
+    runner = ExperimentRunner(config)
+    rows: List[Dict[str, object]] = []
+    for category, workload_cls in CATEGORY_WORKLOADS.items():
+        workload: Workload = workload_cls(scale=config.workload_scale)
+        osp = runner.run(workload, "CPU")
+        results = {
+            "OSP": osp,
+            "ISP": runner.run_with_policy(workload, ISPOnlyPolicy()),
+            "IFP": runner.run_with_policy(workload, AresFlashPolicy()),
+            "IFP+ISP": runner.run_with_policy(workload, NaiveIFPISPPolicy()),
+        }
+        for model in EXECUTION_MODELS:
+            rows.append(_breakdown_row(category, model, results[model],
+                                       osp.total_time_ns))
+    return rows
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_case_study(config)
+    table = format_table(rows)
+    print("Fig. 4 -- execution time normalized to OSP (lower is better)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

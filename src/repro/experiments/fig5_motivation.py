@@ -1,0 +1,55 @@
+"""Fig. 5 -- effectiveness of prior offloading approaches.
+
+Reproduces the motivation study of Section 3.2: speedups of GPU, ISP,
+PuD-SSD, Flash-Cosmos, Ares-Flash, BW-Offloading, DM-Offloading and an Ideal
+policy over the host CPU across the six workloads, plus the geometric mean.
+The paper's headline observations:
+
+* DM-Offloading is the best prior offloading technique (~2.3x over CPU);
+* it still trails the Ideal policy by ~2.5x on average;
+* BW-Offloading underperforms DM-Offloading (~11%);
+* the GPU is comparable to DM-Offloading on the data-parallel kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.metrics import ExecutionResult
+from repro.experiments.report import format_table, nested_to_rows
+from repro.experiments.runner import (FIG5_POLICIES, ExperimentConfig,
+                                      ExperimentRunner, speedup_table)
+
+
+def run_motivation(config: Optional[ExperimentConfig] = None
+                   ) -> Dict[str, Dict[str, float]]:
+    """Run the Fig. 5 sweep; returns {workload: {policy: speedup}}."""
+    config = config or ExperimentConfig()
+    runner = ExperimentRunner(config)
+    results = runner.sweep(FIG5_POLICIES)
+    policies = [policy for policy in FIG5_POLICIES if policy != "CPU"]
+    return speedup_table(results, policies)
+
+
+def run_motivation_with_results(config: Optional[ExperimentConfig] = None
+                                ) -> Tuple[Dict[str, Dict[str, float]],
+                                           Dict[Tuple[str, str],
+                                                ExecutionResult]]:
+    """Like :func:`run_motivation` but also returns the raw results."""
+    config = config or ExperimentConfig()
+    runner = ExperimentRunner(config)
+    results = runner.sweep(FIG5_POLICIES)
+    policies = [policy for policy in FIG5_POLICIES if policy != "CPU"]
+    return speedup_table(results, policies), results
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    table = run_motivation(config)
+    text = format_table(nested_to_rows(table))
+    print("Fig. 5 -- speedup over CPU (higher is better)")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

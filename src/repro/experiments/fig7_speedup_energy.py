@@ -1,0 +1,90 @@
+"""Fig. 7 -- main performance (a) and energy (b) results.
+
+Runs the full policy set of the paper's evaluation -- CPU, GPU, ISP,
+PuD-SSD, Flash-Cosmos, Ares-Flash, BW-Offloading, DM-Offloading, Conduit and
+Ideal -- over the six workloads and reports:
+
+* Fig. 7(a): speedup over CPU per workload plus the geometric mean
+  (the paper reports Conduit at 4.2x CPU, 1.8x DM-Offloading, 62% of Ideal);
+* Fig. 7(b): energy normalized to CPU, split into data movement and
+  computation (Conduit reduces energy by 46.8% versus DM-Offloading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.metrics import ExecutionResult
+from repro.experiments.report import format_table, nested_to_rows
+from repro.experiments.runner import (FIG7_POLICIES, ExperimentConfig,
+                                      ExperimentRunner, energy_table,
+                                      speedup_table)
+
+
+@dataclass
+class Fig7Results:
+    """Both panels of Fig. 7 plus the raw execution results."""
+
+    speedups: Dict[str, Dict[str, float]]
+    energy: Dict[str, Dict[str, Dict[str, float]]]
+    raw: Dict[Tuple[str, str], ExecutionResult]
+
+    def conduit_vs(self, policy: str) -> float:
+        """Geometric-mean speedup of Conduit over another policy."""
+        gmean = self.speedups["GMEAN"]
+        if gmean.get(policy, 0.0) <= 0:
+            return float("inf")
+        return gmean["Conduit"] / gmean[policy]
+
+    def conduit_energy_reduction_vs(self, policy: str) -> float:
+        """Average energy reduction of Conduit versus another policy."""
+        reductions = []
+        for workload, row in self.energy.items():
+            if policy not in row or "Conduit" not in row:
+                continue
+            other = row[policy]["total"]
+            if other <= 0:
+                continue
+            reductions.append(1.0 - row["Conduit"]["total"] / other)
+        if not reductions:
+            return 0.0
+        return sum(reductions) / len(reductions)
+
+
+def run_fig7(config: Optional[ExperimentConfig] = None) -> Fig7Results:
+    """Run the full Fig. 7 sweep."""
+    config = config or ExperimentConfig()
+    runner = ExperimentRunner(config)
+    results = runner.sweep(FIG7_POLICIES)
+    policies = [policy for policy in FIG7_POLICIES if policy != "CPU"]
+    return Fig7Results(
+        speedups=speedup_table(results, policies),
+        energy=energy_table(results, FIG7_POLICIES),
+        raw=results,
+    )
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    results = run_fig7(config)
+    speedup_text = format_table(nested_to_rows(results.speedups))
+    print("Fig. 7(a) -- speedup over CPU (higher is better)")
+    print(speedup_text)
+    energy_rows = []
+    for workload, row in results.energy.items():
+        for policy, parts in row.items():
+            energy_rows.append({"workload": workload, "policy": policy,
+                                **parts})
+    energy_text = format_table(energy_rows)
+    print("\nFig. 7(b) -- energy normalized to CPU (lower is better)")
+    print(energy_text)
+    print("\nConduit vs DM-Offloading speedup: "
+          f"{results.conduit_vs('DM-Offloading'):.2f}x "
+          f"(paper: 1.8x); energy reduction: "
+          f"{100 * results.conduit_energy_reduction_vs('DM-Offloading'):.1f}%"
+          " (paper: 46.8%)")
+    return speedup_text + "\n" + energy_text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Fig. 9 -- fraction of instructions offloaded to each SSD resource.
+
+For BW-Offloading, DM-Offloading, Conduit and Ideal, reports the fraction of
+instructions executed on ISP, PuD-SSD and IFP for each workload.  The
+paper's headline observations: Conduit's distribution closely tracks the
+Ideal policy; memory-bound workloads (AES, XOR Filter) use ISP very
+sparingly; compute-intensive workloads spread across multiple resources; and
+both Conduit and Ideal avoid IFP for multiplication-heavy phases (LLaMA2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common import Resource
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+
+DECISION_POLICIES = ("BW-Offloading", "DM-Offloading", "Conduit", "Ideal")
+
+
+def run_offload_decisions(config: Optional[ExperimentConfig] = None
+                          ) -> List[Dict[str, object]]:
+    """One row per (workload, policy) with per-resource fractions."""
+    config = config or ExperimentConfig()
+    runner = ExperimentRunner(config)
+    rows: List[Dict[str, object]] = []
+    for workload in config.workloads():
+        for policy in DECISION_POLICIES:
+            result = runner.run(workload, policy)
+            fractions = result.ssd_resource_fractions()
+            rows.append({
+                "workload": workload.name,
+                "policy": policy,
+                "isp": fractions.get(Resource.ISP, 0.0),
+                "pud_ssd": fractions.get(Resource.PUD, 0.0),
+                "ifp": fractions.get(Resource.IFP, 0.0),
+            })
+    return rows
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_offload_decisions(config)
+    text = format_table(rows)
+    print("Fig. 9 -- fraction of instructions per computation resource")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Plain-text and JSON reporting helpers for the experiment harnesses.
+
+The benchmark targets print the same rows/series the paper's figures show;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_digits: int = 2) -> str:
+    """Format a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i])
+                       for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def nested_to_rows(table: Mapping[str, Mapping[str, object]],
+                   index_name: str = "workload") -> List[Dict[str, object]]:
+    """Turn {row: {column: value}} into a list of flat dict rows."""
+    rows: List[Dict[str, object]] = []
+    for key, columns in table.items():
+        row: Dict[str, object] = {index_name: key}
+        row.update(columns)
+        rows.append(row)
+    return rows
+
+
+def to_json(data: object, path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialize experiment output as JSON (optionally writing a file)."""
+    text = json.dumps(data, indent=indent, sort_keys=True, default=str)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,164 @@
+"""Experiment runner shared by all figure/table harnesses.
+
+Each experiment in the paper's evaluation section (Figs. 4-10, Table 3) is a
+sweep of (workload, execution policy) pairs over the same simulated
+platform.  This module centralizes:
+
+* the experiment platform configuration (a scaled-down version of Table 2's
+  system so sweeps finish in seconds -- the *ratios* between capacities are
+  preserved: workload footprints exceed the SSD-DRAM compute window and the
+  host page cache, as in the paper, so operands stream from flash);
+* construction and caching of the vectorized programs;
+* running one (workload, policy) pair on a fresh platform; and
+* assembling result grids keyed by workload and policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import MIB, Resource
+from repro.core.compiler.ir import VectorProgram
+from repro.core.metrics import ExecutionResult, geometric_mean, speedup
+from repro.core.offload.policies import OffloadingPolicy, make_policy
+from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
+from repro.workloads import Workload, default_workloads
+
+#: Names of the host (OSP) baselines; they run through :class:`HostRuntime`.
+HOST_POLICIES = ("CPU", "GPU")
+
+#: All execution policies of Fig. 7 in the paper's plotting order.
+FIG7_POLICIES = ("CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos",
+                 "Ares-Flash", "BW-Offloading", "DM-Offloading", "Conduit",
+                 "Ideal")
+
+#: The prior-work policies of the Fig. 5 motivation study (no Conduit).
+FIG5_POLICIES = ("CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos",
+                 "Ares-Flash", "BW-Offloading", "DM-Offloading", "Ideal")
+
+
+def experiment_platform_config() -> PlatformConfig:
+    """The platform configuration used by the experiment harnesses.
+
+    Capacity windows are scaled down together with the workload footprints
+    so the paper's regime (dataset ≫ SSD DRAM, dataset ≫ host cache) holds
+    while a full sweep stays fast.
+    """
+    return PlatformConfig(
+        dram_compute_window_bytes=2 * MIB,
+        sram_window_bytes=512 * 1024,
+        host_cache_bytes=2 * MIB,
+    )
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration shared by the experiment harnesses."""
+
+    workload_scale: float = 0.25
+    platform: PlatformConfig = field(
+        default_factory=experiment_platform_config)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def workloads(self) -> List[Workload]:
+        return default_workloads(scale=self.workload_scale)
+
+
+class ExperimentRunner:
+    """Runs (workload, policy) pairs and caches vectorized programs."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._programs: Dict[str, VectorProgram] = {}
+
+    # -- Program construction ------------------------------------------------------
+
+    def program_for(self, workload: Workload) -> VectorProgram:
+        if workload.name not in self._programs:
+            program, _ = workload.vector_program()
+            self._programs[workload.name] = program
+        return self._programs[workload.name]
+
+    # -- Single runs ------------------------------------------------------------------
+
+    def run(self, workload: Workload, policy_name: str) -> ExecutionResult:
+        """Run one workload under one policy on a fresh platform."""
+        program = self.program_for(workload)
+        platform = SSDPlatform(self.config.platform)
+        if policy_name in HOST_POLICIES:
+            device = (Resource.HOST_CPU if policy_name == "CPU"
+                      else Resource.HOST_GPU)
+            runtime = HostRuntime(platform, self.config.runtime)
+            return runtime.execute(program, device, workload.name)
+        runtime = ConduitRuntime(platform, self.config.runtime)
+        return runtime.execute(program, make_policy(policy_name),
+                               workload.name)
+
+    def run_with_policy(self, workload: Workload,
+                        policy: OffloadingPolicy) -> ExecutionResult:
+        """Run one workload under an externally constructed policy."""
+        program = self.program_for(workload)
+        platform = SSDPlatform(self.config.platform)
+        runtime = ConduitRuntime(platform, self.config.runtime)
+        return runtime.execute(program, policy, workload.name)
+
+    # -- Sweeps -----------------------------------------------------------------------
+
+    def sweep(self, policies: Sequence[str],
+              workloads: Optional[Sequence[Workload]] = None
+              ) -> Dict[Tuple[str, str], ExecutionResult]:
+        """Run every (workload, policy) pair; keys are (workload, policy)."""
+        workloads = list(workloads) if workloads is not None else \
+            self.config.workloads()
+        results: Dict[Tuple[str, str], ExecutionResult] = {}
+        for workload in workloads:
+            for policy_name in policies:
+                results[(workload.name, policy_name)] = self.run(workload,
+                                                                 policy_name)
+        return results
+
+
+def speedup_table(results: Dict[Tuple[str, str], ExecutionResult],
+                  policies: Sequence[str],
+                  baseline: str = "CPU") -> Dict[str, Dict[str, float]]:
+    """Speedups normalized to ``baseline`` plus a GMEAN row (Fig. 5 / 7a)."""
+    workloads = sorted({workload for workload, _ in results})
+    table: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        base = results[(workload, baseline)]
+        table[workload] = {
+            policy: speedup(base, results[(workload, policy)])
+            for policy in policies if (workload, policy) in results
+        }
+    table["GMEAN"] = {
+        policy: geometric_mean([table[w][policy] for w in workloads
+                                if policy in table[w]])
+        for policy in policies
+    }
+    return table
+
+
+def energy_table(results: Dict[Tuple[str, str], ExecutionResult],
+                 policies: Sequence[str],
+                 baseline: str = "CPU") -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Energy normalized to ``baseline``, split DM vs compute (Fig. 7b)."""
+    workloads = sorted({workload for workload, _ in results})
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload in workloads:
+        base_energy = results[(workload, baseline)].total_energy_nj
+        row: Dict[str, Dict[str, float]] = {}
+        for policy in policies:
+            if (workload, policy) not in results:
+                continue
+            result = results[(workload, policy)]
+            total = result.total_energy_nj / base_energy if base_energy else 0
+            dm_fraction = result.energy.data_movement_fraction
+            row[policy] = {
+                "total": total,
+                "data_movement": total * dm_fraction,
+                "compute": total * (1 - dm_fraction),
+            }
+        table[workload] = row
+    return table

@@ -1,0 +1,33 @@
+"""Table 3 -- characteristics of the evaluated workloads.
+
+Regenerates the workload characterization table: vectorizable code
+percentage, average reuse and low/medium/high latency operation mix for the
+six workloads, measured from the output of Conduit's compile-time pass and
+reported next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads import characterization_table
+
+
+def run_table3(config: Optional[ExperimentConfig] = None
+               ) -> List[Dict[str, object]]:
+    config = config or ExperimentConfig()
+    return characterization_table(config.workloads())
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_table3(config)
+    text = format_table(rows)
+    print("Table 3 -- workload characteristics (measured vs. paper)")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

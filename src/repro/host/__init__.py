@@ -1,0 +1,10 @@
+"""Host substrate: analytical CPU/GPU models for OSP baselines."""
+
+from repro.host.config import HostCPUConfig, HostGPUConfig, HostMemoryConfig
+from repro.host.cpu import HostCPU, HostOperationTiming
+from repro.host.gpu import GPUOperationTiming, HostGPU
+
+__all__ = [
+    "HostCPUConfig", "HostGPUConfig", "HostMemoryConfig", "HostCPU",
+    "HostOperationTiming", "GPUOperationTiming", "HostGPU",
+]

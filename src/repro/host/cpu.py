@@ -1,0 +1,90 @@
+"""Host CPU compute model (outside-storage processing baseline).
+
+Roofline-style analytical model of a Xeon Gold 5118-class CPU executing the
+vectorized instruction stream after the operands have been brought to host
+memory over PCIe.  Per-instruction latency is the maximum of the compute
+time (SIMD throughput across all cores) and the memory-streaming time
+(operands + result over the DDR4 bus), which reproduces the behaviour the
+paper relies on: the host is fast for compute but bottlenecked by moving
+SSD-resident data (Fig. 4, OSP bars).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import OpType, SimulationError
+from repro.host.config import HostCPUConfig
+
+#: Per-SIMD-operation cycle costs on the host CPU (throughput cycles for one
+#: full-width SIMD operation).
+_CPU_CYCLES: dict = {
+    OpType.MUL: 2.0, OpType.MAC: 2.0, OpType.DIV: 14.0,
+    OpType.GATHER: 6.0, OpType.SCATTER: 6.0,
+    OpType.REDUCE_ADD: 3.0, OpType.REDUCE_MAX: 3.0, OpType.REDUCE_MIN: 3.0,
+    OpType.SHUFFLE: 1.5, OpType.CALL: 6.0, OpType.BRANCH: 1.5,
+}
+
+
+@dataclass
+class HostOperationTiming:
+    start_ns: float
+    end_ns: float
+    compute_ns: float
+    memory_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class HostCPU:
+    """Analytical host CPU model."""
+
+    def __init__(self, config: HostCPUConfig = None) -> None:
+        self.config = config or HostCPUConfig()
+        self.operations = 0
+        self.total_busy_ns = 0.0
+        self.energy_nj = 0.0
+
+    @staticmethod
+    def supports(op: OpType) -> bool:
+        return True
+
+    def _cycles_per_simd_op(self, op: OpType) -> float:
+        return _CPU_CYCLES.get(op, 1.0)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        if size_bytes <= 0:
+            raise SimulationError("host CPU operation size must be positive")
+        simd_ops = math.ceil(size_bytes / self.config.simd_width_bytes)
+        compute_ns = (simd_ops * self._cycles_per_simd_op(op) *
+                      self.config.cycle_ns / self.config.cores)
+        # Two source streams plus one destination stream through DRAM.
+        memory_bytes = 3 * size_bytes
+        memory_ns = (self.config.memory_latency_ns +
+                     memory_bytes / self.config.memory_bandwidth_gbps)
+        return max(compute_ns, memory_ns)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        latency_ns = self.operation_latency(op, size_bytes, element_bits)
+        return latency_ns * self.config.active_power_w  # ns * W = nJ
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> HostOperationTiming:
+        simd_ops = math.ceil(size_bytes / self.config.simd_width_bytes)
+        compute_ns = (simd_ops * self._cycles_per_simd_op(op) *
+                      self.config.cycle_ns / self.config.cores)
+        memory_bytes = 3 * size_bytes
+        memory_ns = (self.config.memory_latency_ns +
+                     memory_bytes / self.config.memory_bandwidth_gbps)
+        latency = max(compute_ns, memory_ns)
+        self.operations += 1
+        self.total_busy_ns += latency
+        self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
+        return HostOperationTiming(start_ns=now, end_ns=now + latency,
+                                   compute_ns=compute_ns,
+                                   memory_ns=memory_ns)

@@ -1,0 +1,97 @@
+"""Host GPU compute model (outside-storage processing baseline).
+
+Analytical model of an NVIDIA A100 executing the vectorized instruction
+stream.  The GPU has enormous SIMD throughput and HBM bandwidth, so for the
+data-parallel polybench kernels it approaches (and sometimes beats)
+DM-Offloading in the paper's motivation study (Fig. 5); its weakness is that
+every operand must cross PCIe from the SSD and its power draw is high
+(Fig. 7b), both of which the experiment harness charges separately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import OpType, SimulationError
+from repro.host.config import HostGPUConfig
+
+_GPU_CYCLES: dict = {
+    OpType.MUL: 1.0, OpType.MAC: 1.0, OpType.DIV: 8.0,
+    OpType.GATHER: 4.0, OpType.SCATTER: 4.0,
+    OpType.REDUCE_ADD: 2.0, OpType.REDUCE_MAX: 2.0, OpType.REDUCE_MIN: 2.0,
+    OpType.SHUFFLE: 1.0, OpType.CALL: 4.0, OpType.BRANCH: 2.0,
+    OpType.SCALAR: 4.0,
+}
+
+
+@dataclass
+class GPUOperationTiming:
+    start_ns: float
+    end_ns: float
+    compute_ns: float
+    memory_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class HostGPU:
+    """Analytical host GPU model."""
+
+    def __init__(self, config: HostGPUConfig = None) -> None:
+        self.config = config or HostGPUConfig()
+        self.operations = 0
+        self.total_busy_ns = 0.0
+        self.energy_nj = 0.0
+        #: Kernel launch overhead is charged once per batch of back-to-back
+        #: instructions, approximated as once every ``launch_batch`` ops.
+        self.launch_batch = 256
+        self._ops_since_launch = 0
+
+    @staticmethod
+    def supports(op: OpType) -> bool:
+        return True
+
+    def _cycles(self, op: OpType) -> float:
+        return _GPU_CYCLES.get(op, 1.0)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        if size_bytes <= 0:
+            raise SimulationError("GPU operation size must be positive")
+        element_bytes = max(1, element_bits // 8)
+        elements = size_bytes // element_bytes
+        if op in (OpType.SCALAR, OpType.BRANCH, OpType.CALL):
+            # Control-intensive code does not spread across SIMT lanes; it
+            # effectively runs serially on a single SM at GPU clock rate.
+            return elements * self._cycles(op) * self.config.cycle_ns
+        waves = math.ceil(elements / self.config.total_lanes)
+        compute_ns = waves * self._cycles(op) * self.config.cycle_ns
+        memory_bytes = 3 * size_bytes
+        memory_ns = memory_bytes / self.config.hbm_bandwidth_gbps
+        return max(compute_ns, memory_ns)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        latency_ns = self.operation_latency(op, size_bytes, element_bits)
+        return latency_ns * self.config.active_power_w
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> GPUOperationTiming:
+        latency = self.operation_latency(op, size_bytes, element_bits)
+        launch = 0.0
+        if self._ops_since_launch % self.launch_batch == 0:
+            launch = self.config.kernel_launch_overhead_ns
+        self._ops_since_launch += 1
+        element_bytes = max(1, element_bits // 8)
+        elements = size_bytes // element_bytes
+        waves = math.ceil(elements / self.config.total_lanes)
+        compute_ns = waves * self._cycles(op) * self.config.cycle_ns
+        memory_ns = 3 * size_bytes / self.config.hbm_bandwidth_gbps
+        self.operations += 1
+        self.total_busy_ns += latency + launch
+        self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
+        return GPUOperationTiming(start_ns=now, end_ns=now + latency + launch,
+                                  compute_ns=compute_ns, memory_ns=memory_ns)

@@ -1,0 +1,48 @@
+"""In-flash processing ISA.
+
+IFP supports nine operations (Section 4.3.2): six bulk bitwise operations
+(via Flash-Cosmos multi-wordline sensing, MWS) and three arithmetic
+operations (via Ares-Flash latch manipulation and shift-and-add).  This
+module defines the supported-operation sets and the native primitive each
+Conduit operation translates to (used by the instruction transformation
+unit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.common import OpType
+
+#: Bulk bitwise operations executable with multi-wordline sensing.
+FLASH_COSMOS_OPS: FrozenSet[OpType] = frozenset({
+    OpType.AND, OpType.OR, OpType.NOT, OpType.NAND, OpType.NOR, OpType.XOR,
+})
+
+#: Arithmetic operations executable with Ares-Flash latch sequences.
+ARES_FLASH_OPS: FrozenSet[OpType] = frozenset({
+    OpType.ADD, OpType.SUB, OpType.MUL,
+})
+
+#: The full IFP-supported set (nine operations).
+IFP_SUPPORTED_OPS: FrozenSet[OpType] = FLASH_COSMOS_OPS | ARES_FLASH_OPS
+
+#: Native IFP primitive for each supported operation.
+_PRIMITIVES: Dict[OpType, str] = {
+    OpType.AND: "mws_and", OpType.OR: "mws_or", OpType.NOT: "mws_not",
+    OpType.NAND: "mws_and+inv", OpType.NOR: "mws_or+inv",
+    OpType.XOR: "mws_xor",
+    OpType.ADD: "shift_and_add", OpType.SUB: "shift_and_add(neg)",
+    OpType.MUL: "shift_and_add(loop)",
+}
+
+#: Flash-Cosmos operand-count constraints (Section 5.3): bitwise AND over up
+#: to 48 operands within one block, bitwise OR over up to 4 operands in
+#: different blocks of the same plane.
+MAX_AND_OPERANDS_PER_BLOCK = 48
+MAX_OR_OPERANDS_PER_PLANE = 4
+
+
+def primitive(op: OpType) -> str:
+    """Native IFP primitive name for a supported operation."""
+    return _PRIMITIVES[op]

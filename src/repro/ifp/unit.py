@@ -1,0 +1,125 @@
+"""Combined in-flash processing (IFP) unit.
+
+Wraps the Flash-Cosmos bitwise model and the Ares-Flash arithmetic model
+into one computation resource with the interface the runtime offloader
+expects (``supports`` / ``operation_latency`` / ``operation_energy`` /
+``execute``), matching the interfaces of :class:`repro.isp.EmbeddedCoreComplex`
+and :class:`repro.dram.PuDUnit`.
+
+Parallelism: every flash die can run an in-flash operation independently, so
+a vector instruction that spans multiple pages spreads across dies.  The
+platform layer models die contention through the IFP execution queue; this
+unit reports the per-page latency and the die-level parallelism available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import OpType, SimulationError
+from repro.ifp.aresflash import AresFlashUnit
+from repro.ifp.flashcosmos import FlashCosmosUnit
+from repro.ifp.isa import ARES_FLASH_OPS, FLASH_COSMOS_OPS, IFP_SUPPORTED_OPS
+from repro.ssd.config import NANDConfig, SSDEnergyConfig
+
+
+@dataclass
+class IFPOperationTiming:
+    start_ns: float
+    end_ns: float
+    pages: int
+    waves: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class IFPUnit:
+    """In-flash processing resource combining Flash-Cosmos and Ares-Flash."""
+
+    def __init__(self, nand: NANDConfig = None,
+                 energy: SSDEnergyConfig = None) -> None:
+        self.nand = nand or NANDConfig()
+        self.energy_config = energy or SSDEnergyConfig()
+        self.flash_cosmos = FlashCosmosUnit(self.nand, self.energy_config)
+        self.ares_flash = AresFlashUnit(self.nand, self.energy_config)
+        self.operations = 0
+        self.total_busy_ns = 0.0
+        self.energy_nj = 0.0
+
+    # -- Capability -----------------------------------------------------------
+
+    @staticmethod
+    def supports(op: OpType) -> bool:
+        return op in IFP_SUPPORTED_OPS
+
+    @property
+    def page_bytes(self) -> int:
+        """Data covered by one in-flash operation (one flash page)."""
+        return self.nand.page_size_bytes
+
+    @property
+    def die_parallelism(self) -> int:
+        """Dies that can execute in-flash operations concurrently."""
+        return self.nand.channels * self.nand.dies_per_channel
+
+    # -- Per-page latency and energy -------------------------------------------
+
+    def page_operation_latency(self, op: OpType, element_bits: int,
+                               operand_pages: int = 2) -> float:
+        if op in FLASH_COSMOS_OPS:
+            return self.flash_cosmos.operation(op, operand_pages).latency_ns
+        if op in ARES_FLASH_OPS:
+            return self.ares_flash.operation(op, element_bits).latency_ns
+        raise SimulationError(f"IFP does not support {op.value}")
+
+    def page_operation_energy(self, op: OpType, element_bits: int,
+                              operand_pages: int = 2) -> float:
+        if op in FLASH_COSMOS_OPS:
+            return self.flash_cosmos.operation(op, operand_pages).energy_nj
+        if op in ARES_FLASH_OPS:
+            return self.ares_flash.operation(op, element_bits).energy_nj
+        raise SimulationError(f"IFP does not support {op.value}")
+
+    # -- Vector-level latency and energy ------------------------------------------
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int, operand_pages: int = 2) -> float:
+        """Latency of an operation over ``size_bytes`` of data.
+
+        Pages are spread across dies; pages beyond the die count serialize
+        in additional waves.
+        """
+        pages = max(1, math.ceil(size_bytes / self.page_bytes))
+        waves = math.ceil(pages / self.die_parallelism)
+        return waves * self.page_operation_latency(op, element_bits,
+                                                   operand_pages)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int, operand_pages: int = 2) -> float:
+        pages = max(1, math.ceil(size_bytes / self.page_bytes))
+        return pages * self.page_operation_energy(op, element_bits,
+                                                  operand_pages)
+
+    # -- Execution ------------------------------------------------------------------
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int, operand_pages: int = 2
+                ) -> IFPOperationTiming:
+        pages = max(1, math.ceil(size_bytes / self.page_bytes))
+        waves = math.ceil(pages / self.die_parallelism)
+        latency = self.operation_latency(op, size_bytes, element_bits,
+                                         operand_pages)
+        energy = self.operation_energy(op, size_bytes, element_bits,
+                                       operand_pages)
+        if op in FLASH_COSMOS_OPS:
+            self.flash_cosmos.operations += pages
+        else:
+            self.ares_flash.operations += pages
+        self.operations += 1
+        self.total_busy_ns += latency
+        self.energy_nj += energy
+        return IFPOperationTiming(start_ns=now, end_ns=now + latency,
+                                  pages=pages, waves=waves)

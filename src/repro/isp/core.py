@@ -1,0 +1,102 @@
+"""Embedded controller core (in-storage processing) compute model.
+
+Models the ARM Cortex-R8 cores in the SSD controller (Table 2: five cores at
+1.5 GHz) executing offloaded computations through MVE SIMD.  The paper
+dedicates one core to offloaded computation and keeps the remaining cores
+for FTL work, host communication and Conduit's offloading/transformation
+tasks (Section 4.3.2, footnote 3), so the default compute pool has a single
+core.
+
+The per-instruction latency model:
+
+``latency = beats * (cycles_per_beat(op) + memory_cycles) * cycle_time``
+
+where ``beats = ceil(vector_bytes / simd_width_bytes)`` and ``memory_cycles``
+accounts for the loads/stores that feed each beat from SSD DRAM.  The narrow
+(32-bit) datapath is the reason ISP's SIMD throughput is so much lower than
+PuD-SSD's or IFP's, which is the limitation the paper's case study
+highlights (Section 2.2 / 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import OpType, SimulationError
+from repro.isp.isa import ISP_SUPPORTED_OPS, cycles_per_beat
+from repro.ssd.config import ControllerConfig, SSDEnergyConfig
+
+
+@dataclass
+class ISPOperationTiming:
+    start_ns: float
+    end_ns: float
+    beats: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class EmbeddedCoreComplex:
+    """The pool of controller cores available for offloaded computation."""
+
+    #: Load/store cycles that accompany every SIMD beat (two operand loads
+    #: plus one result store against the SSD DRAM / local buffers).
+    MEMORY_CYCLES_PER_BEAT = 3.0
+
+    def __init__(self, config: ControllerConfig = None,
+                 energy: SSDEnergyConfig = None) -> None:
+        self.config = config or ControllerConfig()
+        self.energy_config = energy or SSDEnergyConfig()
+        self.operations = 0
+        self.total_busy_ns = 0.0
+        self.energy_nj = 0.0
+
+    # -- Capability / estimation ---------------------------------------------------
+
+    @staticmethod
+    def supports(op: OpType) -> bool:
+        return op in ISP_SUPPORTED_OPS
+
+    @property
+    def simd_width_bytes(self) -> int:
+        return self.config.simd_width_bytes
+
+    @property
+    def compute_cores(self) -> int:
+        return self.config.compute_cores
+
+    def beats_for(self, size_bytes: int) -> int:
+        return max(1, math.ceil(size_bytes / self.config.simd_width_bytes))
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        """Latency of one operation over ``size_bytes`` on one core."""
+        if size_bytes <= 0:
+            raise SimulationError("ISP operation size must be positive")
+        beats = self.beats_for(size_bytes)
+        cycles = beats * (cycles_per_beat(op) + self.MEMORY_CYCLES_PER_BEAT)
+        # Narrower elements pack more lanes per beat but do not change the
+        # beat count; wider elements (64-bit) double the effective beats.
+        if element_bits > 32:
+            cycles *= element_bits / 32.0
+        return cycles * self.config.cycle_ns
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        latency_ns = self.operation_latency(op, size_bytes, element_bits)
+        power_w = self.energy_config.controller_core_active_power_mw / 1e3
+        return latency_ns * power_w  # ns * W = nJ
+
+    # -- Execution --------------------------------------------------------------------
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> ISPOperationTiming:
+        latency = self.operation_latency(op, size_bytes, element_bits)
+        self.operations += 1
+        self.total_busy_ns += latency
+        self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
+        return ISPOperationTiming(start_ns=now, end_ns=now + latency,
+                                  beats=self.beats_for(size_bytes))

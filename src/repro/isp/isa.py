@@ -1,0 +1,66 @@
+"""ISP instruction set model (ARM Cortex-R8 with M-Profile Vector Extension).
+
+The SSD controller cores support a general-purpose ISA of roughly 300
+instructions (Section 4.3.2); Conduit translates offloaded vector
+instructions into MVE (Helium) SIMD instructions for ISP execution.  The
+model here captures what the cost function needs: which operations ISP
+supports (all of them -- it is the general-purpose fallback) and how many
+core cycles one SIMD beat of each operation takes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.common import OpType
+
+#: ISP supports every operation type Conduit emits -- the controller cores
+#: are the general-purpose fallback for control flow and unsupported ops.
+ISP_SUPPORTED_OPS: FrozenSet[OpType] = frozenset(OpType)
+
+#: Cycles per SIMD beat (one vector-register-width worth of elements) on the
+#: Cortex-R8 + MVE model.  Values follow typical Helium timing: single-cycle
+#: ALU/logical beats, two-cycle multiplies, long-latency divides.
+_CYCLES_PER_BEAT: Dict[OpType, float] = {
+    OpType.AND: 1.0, OpType.OR: 1.0, OpType.XOR: 1.0, OpType.NOT: 1.0,
+    OpType.NAND: 2.0, OpType.NOR: 2.0, OpType.MAJ: 3.0,
+    OpType.SHL: 1.0, OpType.SHR: 1.0,
+    OpType.ADD: 1.0, OpType.SUB: 1.0,
+    OpType.MUL: 2.0, OpType.MAC: 2.0, OpType.DIV: 12.0,
+    OpType.REDUCE_ADD: 2.0, OpType.REDUCE_MAX: 2.0, OpType.REDUCE_MIN: 2.0,
+    OpType.CMP_EQ: 1.0, OpType.CMP_LT: 1.0, OpType.CMP_GT: 1.0,
+    OpType.SELECT: 1.0,
+    OpType.COPY: 1.0, OpType.SHUFFLE: 2.0,
+    OpType.GATHER: 4.0, OpType.SCATTER: 4.0,
+    OpType.LOAD: 1.0, OpType.STORE: 1.0,
+    OpType.SCALAR: 1.0, OpType.BRANCH: 2.0, OpType.CALL: 4.0,
+}
+
+#: Number of distinct native MVE/ARM instructions the translation table maps
+#: to (Section 4.5 says the table covers more than 300 operation types).
+ISP_NATIVE_INSTRUCTION_COUNT = 300
+
+
+def cycles_per_beat(op: OpType) -> float:
+    """Core cycles to process one SIMD beat of ``op``."""
+    return _CYCLES_PER_BEAT.get(op, 2.0)
+
+
+def mnemonic(op: OpType) -> str:
+    """MVE-style mnemonic for the translated instruction (for traces)."""
+    table = {
+        OpType.AND: "vand", OpType.OR: "vorr", OpType.XOR: "veor",
+        OpType.NOT: "vmvn", OpType.NAND: "vand+vmvn", OpType.NOR: "vorr+vmvn",
+        OpType.MAJ: "vsel", OpType.SHL: "vshl", OpType.SHR: "vshr",
+        OpType.ADD: "vadd", OpType.SUB: "vsub", OpType.MUL: "vmul",
+        OpType.MAC: "vmla", OpType.DIV: "vdiv(seq)",
+        OpType.REDUCE_ADD: "vaddv", OpType.REDUCE_MAX: "vmaxv",
+        OpType.REDUCE_MIN: "vminv", OpType.CMP_EQ: "vcmp.eq",
+        OpType.CMP_LT: "vcmp.lt", OpType.CMP_GT: "vcmp.gt",
+        OpType.SELECT: "vpsel", OpType.COPY: "vmov",
+        OpType.SHUFFLE: "vrev/vtbl", OpType.GATHER: "vldr.gather",
+        OpType.SCATTER: "vstr.scatter", OpType.LOAD: "vldr",
+        OpType.STORE: "vstr", OpType.SCALAR: "alu", OpType.BRANCH: "b",
+        OpType.CALL: "bl",
+    }
+    return table.get(op, op.value)

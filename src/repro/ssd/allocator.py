@@ -1,0 +1,147 @@
+"""Page allocation with NDP data-layout constraints.
+
+The FTL's page allocation policy decides which physical block receives the
+next programmed page.  Conduit extends MQSim's allocator to enforce the
+data-layout constraints of the NDP paradigms (Section 4.4):
+
+* **IFP (Flash-Cosmos)**: all operands of a bulk bitwise AND must reside in
+  pages of the *same flash block*; operands of an OR must be in different
+  blocks of the *same plane*.  The allocator therefore supports *colocated*
+  allocation, which places a group of logical pages into one block (or one
+  plane).
+* **Striped allocation** spreads consecutive logical pages across channels
+  and dies to maximise internal parallelism, which is MQSim's default
+  channel-first striping.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional
+
+from repro.common import SimulationError
+from repro.ssd.nand import (FlashBlock, NANDArray, PhysicalBlockAddress,
+                            PhysicalPageAddress)
+
+
+class AllocationPolicy(enum.Enum):
+    """How consecutive logical pages are spread over the flash array."""
+
+    CHANNEL_STRIPED = "channel-striped"
+    DIE_STRIPED = "die-striped"
+    COLOCATED_BLOCK = "colocated-block"
+    COLOCATED_PLANE = "colocated-plane"
+
+
+class PageAllocator:
+    """Selects physical blocks/pages for incoming writes.
+
+    The allocator keeps one "active" (partially written) block per
+    (channel, die, plane) and rotates across channels/dies according to the
+    allocation policy.  It never programs a page out of order within a block
+    (NAND constraint; enforced by :class:`FlashBlock`).
+    """
+
+    def __init__(self, array: NANDArray,
+                 policy: AllocationPolicy = AllocationPolicy.CHANNEL_STRIPED
+                 ) -> None:
+        self.array = array
+        self.policy = policy
+        self.config = array.config
+        self._next_channel = 0
+        self._next_die = 0
+        self._next_plane = 0
+        #: Active block per (channel, die, plane).
+        self._active: Dict[tuple, PhysicalBlockAddress] = {}
+        #: Free-block cursors per (channel, die, plane).
+        self._free_cursor: Dict[tuple, int] = {}
+
+    # -- Free-block management ------------------------------------------------
+
+    def _find_free_block(self, channel: int, die: int,
+                         plane: int) -> Optional[PhysicalBlockAddress]:
+        key = (channel, die, plane)
+        plane_obj = self.array.die(channel, die).plane(plane)
+        start = self._free_cursor.get(key, 0)
+        blocks = len(plane_obj.blocks)
+        for offset in range(blocks):
+            index = (start + offset) % blocks
+            block = plane_obj.block(index)
+            if block.write_cursor == 0 and block.valid_pages == 0:
+                self._free_cursor[key] = (index + 1) % blocks
+                return PhysicalBlockAddress(channel, die, plane, index)
+        return None
+
+    def _active_block(self, channel: int, die: int,
+                      plane: int) -> FlashBlock:
+        key = (channel, die, plane)
+        address = self._active.get(key)
+        if address is not None:
+            block = self.array.block(address)
+            if not block.is_full:
+                return block
+        new_address = self._find_free_block(channel, die, plane)
+        if new_address is None:
+            raise SimulationError(
+                f"no free blocks on channel {channel} die {die} plane "
+                f"{plane}; garbage collection required")
+        self._active[key] = new_address
+        return self.array.block(new_address)
+
+    # -- Allocation ------------------------------------------------------------
+
+    def _advance_stripe(self) -> tuple:
+        channel, die, plane = self._next_channel, self._next_die, self._next_plane
+        if self.policy is AllocationPolicy.CHANNEL_STRIPED:
+            self._next_channel = (self._next_channel + 1) % self.config.channels
+            if self._next_channel == 0:
+                self._next_die = (self._next_die + 1) % self.config.dies_per_channel
+                if self._next_die == 0:
+                    self._next_plane = ((self._next_plane + 1)
+                                        % self.config.planes_per_die)
+        else:  # DIE_STRIPED
+            self._next_die = (self._next_die + 1) % self.config.dies_per_channel
+            if self._next_die == 0:
+                self._next_channel = ((self._next_channel + 1)
+                                      % self.config.channels)
+                if self._next_channel == 0:
+                    self._next_plane = ((self._next_plane + 1)
+                                        % self.config.planes_per_die)
+        return channel, die, plane
+
+    def allocate(self, lpa: int) -> PhysicalPageAddress:
+        """Allocate and program one page for logical page ``lpa``."""
+        if self.policy in (AllocationPolicy.CHANNEL_STRIPED,
+                           AllocationPolicy.DIE_STRIPED):
+            channel, die, plane = self._advance_stripe()
+        else:
+            channel, die, plane = (self._next_channel, self._next_die,
+                                   self._next_plane)
+        block = self._active_block(channel, die, plane)
+        return self.array.program_page(block.address, lpa)
+
+    def allocate_colocated(self, lpas: Iterable[int]) -> List[PhysicalPageAddress]:
+        """Place a group of logical pages into a single block.
+
+        Used to satisfy the Flash-Cosmos constraint that all operands of an
+        in-flash bitwise AND live in the same block.  Raises if the group is
+        larger than a block.
+        """
+        lpas = list(lpas)
+        if len(lpas) > self.config.pages_per_block:
+            raise SimulationError(
+                f"cannot colocate {len(lpas)} pages in one block of "
+                f"{self.config.pages_per_block} pages")
+        channel, die, plane = self._advance_stripe()
+        address = self._find_free_block(channel, die, plane)
+        if address is None:
+            raise SimulationError("no free block available for colocation")
+        addresses = [self.array.program_page(address, lpa) for lpa in lpas]
+        return addresses
+
+    def allocation_balance(self) -> Dict[int, int]:
+        """Programmed pages per channel (used to test striping fairness)."""
+        balance: Dict[int, int] = {c: 0 for c in range(self.config.channels)}
+        for block in self.array.iter_blocks():
+            balance[block.address.channel] += block.write_cursor
+        return balance

@@ -1,0 +1,287 @@
+"""NAND flash subsystem model.
+
+Models the physical organisation described in Section 2.1 / Fig. 1 and 3 of
+the paper: channels connect flash controllers to flash chips; each chip has
+1-4 independently operating dies; each die has planes; each plane holds
+blocks of pages; a page is the read/program granularity and maps to one
+wordline of a block.
+
+The model tracks page state (free / valid / invalid), per-block erase
+counts and per-die occupancy, which is what the FTL, garbage collector and
+wear-leveler need.  Timing comes from :class:`repro.ssd.config.NANDConfig`
+and is consumed by the flash controller and the in-flash processing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.common import SimulationError
+from repro.ssd.config import NANDConfig
+
+
+class PageState(enum.Enum):
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """Physical address of one flash page."""
+
+    channel: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def block_address(self) -> "PhysicalBlockAddress":
+        return PhysicalBlockAddress(self.channel, self.die, self.plane,
+                                    self.block)
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalBlockAddress:
+    """Physical address of one flash block."""
+
+    channel: int
+    die: int
+    plane: int
+    block: int
+
+    def page(self, page: int) -> PhysicalPageAddress:
+        return PhysicalPageAddress(self.channel, self.die, self.plane,
+                                   self.block, page)
+
+
+class FlashBlock:
+    """One erase block: a column of pages sharing wordlines.
+
+    Page state is stored sparsely (only programmed pages are tracked) so
+    that instantiating a full-size multi-terabyte SSD with hundreds of
+    thousands of blocks stays cheap -- a block that has never been
+    programmed carries no per-page storage at all.
+    """
+
+    __slots__ = ("address", "pages", "erase_count", "write_cursor",
+                 "_stored", "_invalid")
+
+    def __init__(self, address: PhysicalBlockAddress, pages: int) -> None:
+        self.address = address
+        self.pages = pages
+        self.erase_count = 0
+        #: Pages are programmed strictly in order within a block (NAND
+        #: constraint); this cursor is the next programmable page index.
+        self.write_cursor = 0
+        #: Logical page stored in each *valid* physical page.
+        self._stored: Dict[int, int] = {}
+        #: Physical page indices that have been invalidated.
+        self._invalid: set = set()
+
+    @property
+    def page_states(self) -> List[PageState]:
+        """Dense page-state view (built on demand; used by tests)."""
+        states = []
+        for page in range(self.pages):
+            if page >= self.write_cursor:
+                states.append(PageState.FREE)
+            elif page in self._invalid:
+                states.append(PageState.INVALID)
+            else:
+                states.append(PageState.VALID)
+        return states
+
+    def state_of(self, page: int) -> PageState:
+        if page >= self.write_cursor:
+            return PageState.FREE
+        if page in self._invalid:
+            return PageState.INVALID
+        return PageState.VALID
+
+    def stored_lpa_of(self, page: int) -> Optional[int]:
+        return self._stored.get(page)
+
+    @property
+    def free_pages(self) -> int:
+        return self.pages - self.write_cursor
+
+    @property
+    def valid_pages(self) -> int:
+        return len(self._stored)
+
+    @property
+    def invalid_pages(self) -> int:
+        return len(self._invalid)
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_cursor >= self.pages
+
+    def program(self, lpa: int) -> int:
+        """Program the next free page with logical page ``lpa``.
+
+        Returns the physical page index that was programmed.
+        """
+        if self.is_full:
+            raise SimulationError(
+                f"block {self.address} is full; erase before programming")
+        page = self.write_cursor
+        self._stored[page] = lpa
+        self.write_cursor += 1
+        return page
+
+    def invalidate(self, page: int) -> None:
+        if self.state_of(page) is not PageState.VALID:
+            raise SimulationError(
+                f"page {page} of block {self.address} is not valid")
+        self._invalid.add(page)
+        self._stored.pop(page, None)
+
+    def erase(self) -> None:
+        self._stored.clear()
+        self._invalid.clear()
+        self.write_cursor = 0
+        self.erase_count += 1
+
+    def valid_lpas(self) -> List[int]:
+        """Logical pages that must be relocated before erasing this block."""
+        return list(self._stored.values())
+
+
+class FlashPlane:
+    """A plane: a set of blocks sharing the die's peripheral circuitry."""
+
+    def __init__(self, channel: int, die: int, plane: int,
+                 blocks: int, pages_per_block: int) -> None:
+        self.channel = channel
+        self.die = die
+        self.plane = plane
+        self.blocks = [
+            FlashBlock(PhysicalBlockAddress(channel, die, plane, b),
+                       pages_per_block)
+            for b in range(blocks)
+        ]
+
+    def block(self, index: int) -> FlashBlock:
+        return self.blocks[index]
+
+    def free_blocks(self) -> int:
+        return sum(1 for b in self.blocks
+                   if b.write_cursor == 0 and b.valid_pages == 0)
+
+
+class FlashDie:
+    """A die: the unit of independent command execution on a chip."""
+
+    def __init__(self, channel: int, die: int, planes: int,
+                 blocks_per_plane: int, pages_per_block: int) -> None:
+        self.channel = channel
+        self.die = die
+        self.planes = [
+            FlashPlane(channel, die, p, blocks_per_plane, pages_per_block)
+            for p in range(planes)
+        ]
+
+    def plane(self, index: int) -> FlashPlane:
+        return self.planes[index]
+
+
+class NANDArray:
+    """The complete NAND flash array of the SSD."""
+
+    def __init__(self, config: NANDConfig) -> None:
+        self.config = config
+        self.dies = [
+            [FlashDie(channel, die, config.planes_per_die,
+                      config.blocks_per_plane, config.pages_per_block)
+             for die in range(config.dies_per_channel)]
+            for channel in range(config.channels)
+        ]
+        # Operation counters used by the energy model and tests.
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        # Free-block counter maintained incrementally so that GC trigger
+        # checks stay O(1) even for full-size (multi-terabyte) geometries.
+        self._free_blocks = self.config.blocks
+
+    # -- Navigation --------------------------------------------------------
+
+    def die(self, channel: int, die: int) -> FlashDie:
+        return self.dies[channel][die]
+
+    def block(self, address: PhysicalBlockAddress) -> FlashBlock:
+        return (self.dies[address.channel][address.die]
+                .planes[address.plane].blocks[address.block])
+
+    def iter_blocks(self) -> Iterator[FlashBlock]:
+        for channel_dies in self.dies:
+            for die in channel_dies:
+                for plane in die.planes:
+                    yield from plane.blocks
+
+    # -- State-changing operations ------------------------------------------
+
+    def program_page(self, block_address: PhysicalBlockAddress,
+                     lpa: int) -> PhysicalPageAddress:
+        block = self.block(block_address)
+        was_free = block.write_cursor == 0
+        page = block.program(lpa)
+        if was_free:
+            self._free_blocks -= 1
+        self.programs += 1
+        return block_address.page(page)
+
+    def read_page(self, address: PhysicalPageAddress) -> Optional[int]:
+        block = self.block(address.block_address())
+        self.reads += 1
+        if block.state_of(address.page) is not PageState.VALID:
+            return None
+        return block.stored_lpa_of(address.page)
+
+    def invalidate_page(self, address: PhysicalPageAddress) -> None:
+        self.block(address.block_address()).invalidate(address.page)
+
+    def erase_block(self, address: PhysicalBlockAddress) -> None:
+        block = self.block(address)
+        was_used = block.write_cursor > 0
+        block.erase()
+        if was_used:
+            self._free_blocks += 1
+        self.erases += 1
+
+    # -- Aggregate statistics ------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        return self.config.blocks
+
+    def free_block_count(self) -> int:
+        return self._free_blocks
+
+    def valid_page_count(self) -> int:
+        return sum(block.valid_pages for block in self.iter_blocks())
+
+    def erase_count_stats(self) -> tuple:
+        """Return (min, mean, max) erase counts across all blocks."""
+        counts = [block.erase_count for block in self.iter_blocks()]
+        return min(counts), sum(counts) / len(counts), max(counts)
+
+    # -- Timing helpers ------------------------------------------------------
+
+    def read_time_ns(self) -> float:
+        """SLC-mode page sensing latency (tR)."""
+        return self.config.read_latency_ns
+
+    def program_time_ns(self) -> float:
+        return self.config.program_latency_ns
+
+    def erase_time_ns(self) -> float:
+        return self.config.erase_latency_ns
+
+    def page_transfer_time_ns(self) -> float:
+        """Page-buffer <-> flash-controller DMA time for one page (tDMA)."""
+        return self.config.dma_latency_ns

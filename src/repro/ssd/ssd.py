@@ -1,0 +1,189 @@
+"""Top-level SSD storage device.
+
+Composes the NAND array, flash channel subsystem, FTL (with DFTL mapping
+cache), garbage collector, wear-leveler and NVMe host interface into one
+device that the NDP platform (:mod:`repro.core.platform`) builds on.
+
+This module is the *storage* substrate: it knows how to place datasets on
+flash, translate addresses, serve page reads/writes with realistic timing,
+and run maintenance (GC / wear-leveling).  Computation resources (ISP,
+PuD-SSD, IFP) are layered on top by the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common import SimulationError
+from repro.ssd.allocator import AllocationPolicy
+from repro.ssd.config import SSDConfig
+from repro.ssd.flash_controller import (FlashChannelSubsystem,
+                                        FlashOperationTiming)
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.gc import GarbageCollector, GCResult
+from repro.ssd.nand import NANDArray, PhysicalPageAddress
+from repro.ssd.nvme import NVMeInterface, SSDMode
+from repro.ssd.wear_leveling import WearLeveler, WearLevelingResult
+
+
+@dataclass
+class PageAccessTiming:
+    """Timing of one logical-page access through the full storage path."""
+
+    lpa: int
+    ppa: Optional[PhysicalPageAddress]
+    start_ns: float
+    end_ns: float
+    translation_ns: float
+    flash_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class SSDStatistics:
+    """Aggregate counters for the storage device."""
+
+    logical_reads: int = 0
+    logical_writes: int = 0
+    gc_invocations: int = 0
+    wl_invocations: int = 0
+    maintenance_latency_ns: float = 0.0
+
+
+class SSD:
+    """A simulated NAND-flash SSD (storage view)."""
+
+    def __init__(self, config: Optional[SSDConfig] = None, *,
+                 allocation_policy: AllocationPolicy =
+                 AllocationPolicy.CHANNEL_STRIPED) -> None:
+        self.config = config or SSDConfig()
+        self.array = NANDArray(self.config.nand)
+        self.channels = FlashChannelSubsystem(self.config.nand)
+        self.ftl = FlashTranslationLayer(self.array, self.config.ftl,
+                                         allocation_policy)
+        self.gc = GarbageCollector(self.ftl, self.config.ftl)
+        self.wear_leveler = WearLeveler(self.ftl, self.config.ftl)
+        self.nvme = NVMeInterface(self.config.host_interface)
+        self.stats = SSDStatistics()
+
+    # -- Properties -------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.config.nand.page_size_bytes
+
+    @property
+    def total_pages(self) -> int:
+        return self.config.nand.pages
+
+    @property
+    def mode(self) -> SSDMode:
+        return self.nvme.mode
+
+    # -- Dataset placement --------------------------------------------------------
+
+    def populate(self, lpas: Iterable[int], *,
+                 colocated_groups: Optional[Sequence[Sequence[int]]] = None
+                 ) -> None:
+        """Place a dataset on flash without charging simulation time.
+
+        The paper assumes all application data resides in the SSD before
+        execution starts (Section 4.4), so dataset placement is a zero-time
+        setup step.  ``colocated_groups`` lists groups of logical pages that
+        must share a flash block to satisfy IFP layout constraints.
+        """
+        colocated: set = set()
+        if colocated_groups:
+            for group in colocated_groups:
+                group = list(group)
+                self.ftl.write_colocated(group)
+                colocated.update(group)
+        for lpa in lpas:
+            if lpa in colocated:
+                continue
+            self.ftl.write(lpa)
+
+    # -- Flash-level access with timing ----------------------------------------------
+
+    def location_of(self, lpa: int) -> Optional[PhysicalPageAddress]:
+        """Physical location of a logical page (no latency charged)."""
+        return self.ftl.translate(lpa)
+
+    def read_page(self, now: float, lpa: int, *,
+                  transfer_out: bool = True) -> PageAccessTiming:
+        """Read one logical page from flash (into the flash controller)."""
+        ppa, translation_ns = self.ftl.lookup(lpa)
+        if ppa is None:
+            raise SimulationError(f"read of unmapped logical page {lpa}")
+        timing = self.channels.read_page(now + translation_ns, ppa.channel,
+                                         ppa.die, transfer_out=transfer_out)
+        self.stats.logical_reads += 1
+        return PageAccessTiming(lpa=lpa, ppa=ppa, start_ns=now,
+                                end_ns=timing.end,
+                                translation_ns=translation_ns,
+                                flash_ns=timing.end - now - translation_ns)
+
+    def write_page(self, now: float, lpa: int) -> PageAccessTiming:
+        """Write one logical page (out-of-place update) with timing."""
+        ppa, translation_ns = self.ftl.lookup(lpa)
+        new_ppa = self.ftl.write(lpa)
+        timing = self.channels.program_page(now + translation_ns,
+                                            new_ppa.channel, new_ppa.die)
+        self.stats.logical_writes += 1
+        maintenance = self.run_maintenance()
+        return PageAccessTiming(lpa=lpa, ppa=new_ppa, start_ns=now,
+                                end_ns=timing.end + maintenance,
+                                translation_ns=translation_ns,
+                                flash_ns=timing.end - now - translation_ns)
+
+    # -- Host I/O path (NVMe + PCIe) ---------------------------------------------------
+
+    def host_read(self, now: float, lpas: Sequence[int]) -> float:
+        """Host reads logical pages; returns the completion time."""
+        self.nvme.check_host_io_allowed()
+        finish = now
+        for lpa in lpas:
+            access = self.read_page(now, lpa)
+            transfer = self.nvme.host_transfer(access.end_ns, self.page_size,
+                                               "ssd-to-host")
+            finish = max(finish, transfer.end_ns)
+        return finish
+
+    def host_write(self, now: float, lpas: Sequence[int]) -> float:
+        """Host writes logical pages; returns the completion time."""
+        self.nvme.check_host_io_allowed()
+        finish = now
+        for lpa in lpas:
+            transfer = self.nvme.host_transfer(now, self.page_size,
+                                               "host-to-ssd")
+            access = self.write_page(transfer.end_ns, lpa)
+            finish = max(finish, access.end_ns)
+        return finish
+
+    # -- Maintenance -------------------------------------------------------------------
+
+    def run_maintenance(self) -> float:
+        """Run GC and wear-leveling if needed; return the added latency."""
+        latency = 0.0
+        gc_result: GCResult = self.gc.collect()
+        if gc_result.triggered:
+            self.stats.gc_invocations += 1
+            latency += gc_result.latency_ns
+        wl_result: WearLevelingResult = self.wear_leveler.level()
+        if wl_result.triggered:
+            self.stats.wl_invocations += 1
+            latency += wl_result.latency_ns
+        self.stats.maintenance_latency_ns += latency
+        return latency
+
+    # -- Mode switching ------------------------------------------------------------------
+
+    def enter_computation_mode(self) -> None:
+        self.nvme.enter_computation_mode()
+
+    def enter_regular_io_mode(self) -> None:
+        self.nvme.enter_regular_io_mode()

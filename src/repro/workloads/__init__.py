@@ -1,0 +1,38 @@
+"""The six evaluated workloads (Table 3) and their characterization."""
+
+from repro.workloads.aes import AESWorkload
+from repro.workloads.base import (PaperCharacteristics, Workload,
+                                  WorkloadCategory)
+from repro.workloads.characterize import (WorkloadCharacteristics,
+                                          characterization_table,
+                                          characterize, measure_reuse,
+                                          operation_mix)
+from repro.workloads.heat3d import Heat3DWorkload
+from repro.workloads.jacobi1d import Jacobi1DWorkload
+from repro.workloads.llama_inference import LlamaInferenceWorkload
+from repro.workloads.llm_training import LLMTrainingWorkload
+from repro.workloads.xor_filter import XORFilterWorkload
+
+#: The six workloads in the order the paper's figures list them.
+ALL_WORKLOADS = (
+    AESWorkload,
+    XORFilterWorkload,
+    Heat3DWorkload,
+    Jacobi1DWorkload,
+    LlamaInferenceWorkload,
+    LLMTrainingWorkload,
+)
+
+
+def default_workloads(scale: float = 1.0):
+    """Instantiate all six workloads at the given scale."""
+    return [workload(scale=scale) for workload in ALL_WORKLOADS]
+
+
+__all__ = [
+    "AESWorkload", "PaperCharacteristics", "Workload", "WorkloadCategory",
+    "WorkloadCharacteristics", "characterization_table", "characterize",
+    "measure_reuse", "operation_mix", "Heat3DWorkload", "Jacobi1DWorkload",
+    "LlamaInferenceWorkload", "LLMTrainingWorkload", "XORFilterWorkload",
+    "ALL_WORKLOADS", "default_workloads",
+]

@@ -1,0 +1,85 @@
+"""LLaMA2 inference workload (Table 3, row 5).
+
+INT8-quantized decode of a LLaMA2-style transformer (the paper uses the 7B
+model through llama2.c): per layer, QKV projections and the feed-forward
+network stream large weight matrices through multiply-accumulate loops,
+while attention mixes multiplies, additions and predication/shuffle work.
+The paper characterizes the workload as 70% vectorizable, low reuse (1.8 --
+weights are streamed once per token), and an almost even split of medium-
+and high-latency operations; Fig. 9/10 show Conduit splitting it between
+PuD-SSD and ISP while avoiding IFP for the multiplications.
+"""
+
+from __future__ import annotations
+
+from repro.common import OpType
+from repro.core.compiler.frontend import (Loop, ScalarProgram,
+                                          ScalarStatement)
+from repro.workloads.base import (PaperCharacteristics, Workload,
+                                  WorkloadCategory)
+
+
+class LlamaInferenceWorkload(Workload):
+    """INT8 LLaMA2 decode (attention + FFN layers)."""
+
+    name = "LlaMA2 Inference"
+    category = WorkloadCategory.COMPUTE_INTENSIVE
+    paper = PaperCharacteristics(
+        vectorizable_fraction=0.70, average_reuse=1.8,
+        low_latency_fraction=0.0, medium_latency_fraction=0.53,
+        high_latency_fraction=0.47)
+
+    def __init__(self, scale: float = 1.0, layers: int = 2) -> None:
+        super().__init__(scale)
+        self.layers = layers
+
+    def build_program(self) -> ScalarProgram:
+        program = ScalarProgram(self.name)
+        qkv_weights = self._scaled(2 * 1024 * 1024)
+        attn_state = self._scaled(1024 * 1024)
+        ffn_weights = self._scaled(4 * 1024 * 1024)
+        program.declare_array("wqkv", qkv_weights, element_bits=8)
+        program.declare_array("activations", qkv_weights, element_bits=8)
+        program.declare_array("attn_scores", attn_state, element_bits=8)
+        program.declare_array("kv_cache", attn_state, element_bits=8)
+        program.declare_array("wffn", ffn_weights, element_bits=8)
+        program.declare_array("ffn_out", ffn_weights, element_bits=8)
+
+        # QKV projection: streaming INT8 matmul over the projection weights.
+        qkv_body = [
+            ScalarStatement(op=OpType.MUL, dest="activations",
+                            sources=("wqkv", "activations")),
+            ScalarStatement(op=OpType.ADD, dest="activations",
+                            sources=("activations",), uses_immediate=True),
+        ]
+        program.add_loop(Loop(name="qkv_projection", trip_count=qkv_weights,
+                              body=qkv_body, repetitions=self.layers))
+
+        # Attention: score computation, masking and value mixing.
+        attn_body = [
+            ScalarStatement(op=OpType.MUL, dest="attn_scores",
+                            sources=("attn_scores", "kv_cache")),
+            ScalarStatement(op=OpType.ADD, dest="attn_scores",
+                            sources=("attn_scores", "kv_cache")),
+            ScalarStatement(op=OpType.SELECT, dest="attn_scores",
+                            sources=("attn_scores",), uses_immediate=True),
+            ScalarStatement(op=OpType.SHUFFLE, dest="kv_cache",
+                            sources=("attn_scores",)),
+        ]
+        program.add_loop(Loop(name="attention", trip_count=attn_state,
+                              body=attn_body, repetitions=self.layers))
+
+        # Feed-forward network: the largest weight stream of the layer.
+        ffn_body = [
+            ScalarStatement(op=OpType.MUL, dest="ffn_out",
+                            sources=("wffn", "ffn_out")),
+            ScalarStatement(op=OpType.ADD, dest="ffn_out",
+                            sources=("ffn_out",), uses_immediate=True),
+        ]
+        program.add_loop(Loop(name="ffn", trip_count=ffn_weights,
+                              body=ffn_body, repetitions=self.layers))
+
+        # Softmax normalization, sampling, tokenizer and KV-cache management
+        # remain scalar (~30% of the code).
+        self.add_scalar_section(program, "softmax_sampling_and_cache")
+        return program

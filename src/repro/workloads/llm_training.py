@@ -1,0 +1,76 @@
+"""LLM training workload (Table 3, row 6).
+
+Bandwidth-intensive INT8 training of a LLaMA2-style model: forward passes,
+backward gradient computation and optimizer weight updates repeatedly sweep
+the weight and gradient tensors.  The paper characterizes training as 60%
+vectorizable, with moderate reuse (5.2 -- weights, gradients and optimizer
+state are revisited within a step), a mix dominated by medium-latency
+additions/updates (88%) with some multiplications (12%), and heavy data
+movement from the frequent weight updates.
+"""
+
+from __future__ import annotations
+
+from repro.common import OpType
+from repro.core.compiler.frontend import (Loop, ScalarProgram,
+                                          ScalarStatement)
+from repro.workloads.base import (PaperCharacteristics, Workload,
+                                  WorkloadCategory)
+
+
+class LLMTrainingWorkload(Workload):
+    """INT8 LLM training step (forward, backward, optimizer update)."""
+
+    name = "LLM Training"
+    category = WorkloadCategory.MIXED
+    paper = PaperCharacteristics(
+        vectorizable_fraction=0.60, average_reuse=5.2,
+        low_latency_fraction=0.0, medium_latency_fraction=0.88,
+        high_latency_fraction=0.12)
+
+    def __init__(self, scale: float = 1.0, steps: int = 2) -> None:
+        super().__init__(scale)
+        self.steps = steps
+
+    def build_program(self) -> ScalarProgram:
+        program = ScalarProgram(self.name)
+        weights = self._scaled(4 * 1024 * 1024)
+        program.declare_array("weights", weights, element_bits=8)
+        program.declare_array("gradients", weights, element_bits=8)
+        program.declare_array("optimizer_m", weights, element_bits=8)
+        program.declare_array("activations", weights, element_bits=8)
+
+        # Forward pass: one streaming matmul per step (the 12% high-latency
+        # multiplies) followed by bias/residual additions.
+        forward_body = [
+            ScalarStatement(op=OpType.MUL, dest="activations",
+                            sources=("weights", "activations")),
+            ScalarStatement(op=OpType.ADD, dest="activations",
+                            sources=("activations",), uses_immediate=True),
+        ]
+        program.add_loop(Loop(name="forward", trip_count=weights,
+                              body=forward_body, repetitions=self.steps))
+
+        # Backward pass and optimizer: gradient accumulation, momentum and
+        # weight updates -- addition/subtraction/predication heavy.
+        update_body = [
+            ScalarStatement(op=OpType.ADD, dest="gradients",
+                            sources=("gradients", "activations")),
+            ScalarStatement(op=OpType.ADD, dest="optimizer_m",
+                            sources=("optimizer_m", "gradients")),
+            ScalarStatement(op=OpType.SUB, dest="weights",
+                            sources=("weights", "optimizer_m")),
+            ScalarStatement(op=OpType.CMP_GT, dest="gradients",
+                            sources=("gradients",), uses_immediate=True),
+            ScalarStatement(op=OpType.ADD, dest="weights",
+                            sources=("weights", "gradients")),
+            ScalarStatement(op=OpType.SUB, dest="optimizer_m",
+                            sources=("optimizer_m",), uses_immediate=True),
+        ]
+        program.add_loop(Loop(name="backward_and_update", trip_count=weights,
+                              body=update_body, repetitions=self.steps))
+
+        # Data loading, loss bookkeeping and checkpointing stay scalar (40%
+        # of the code).
+        self.add_scalar_section(program, "dataloader_and_checkpointing")
+        return program

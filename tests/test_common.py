@@ -1,0 +1,82 @@
+"""Tests for the shared vocabulary in repro.common."""
+
+import pytest
+
+from repro.common import (DataLocation, LatencyClass, OpClass, OpType,
+                          Resource, RESOURCE_HOME_LOCATION, SSD_RESOURCES)
+
+
+class TestOpTypeCategories:
+    def test_bitwise_ops_are_bitwise(self):
+        for op in (OpType.AND, OpType.OR, OpType.XOR, OpType.NOT,
+                   OpType.SHL, OpType.SHR):
+            assert op.is_bitwise
+
+    def test_arithmetic_ops_are_arithmetic(self):
+        for op in (OpType.ADD, OpType.SUB, OpType.MUL, OpType.DIV,
+                   OpType.REDUCE_ADD):
+            assert op.is_arithmetic
+
+    def test_predication_ops(self):
+        for op in (OpType.CMP_EQ, OpType.CMP_LT, OpType.SELECT):
+            assert op.is_predication
+
+    def test_control_ops(self):
+        for op in (OpType.SCALAR, OpType.BRANCH, OpType.CALL):
+            assert op.is_control
+
+    def test_categories_are_disjoint(self):
+        for op in OpType:
+            flags = [op.is_bitwise, op.is_arithmetic, op.is_predication,
+                     op.is_memory, op.is_control]
+            assert sum(flags) == 1, f"{op} belongs to {sum(flags)} categories"
+
+
+class TestOpClass:
+    @pytest.mark.parametrize("op,expected", [
+        (OpType.AND, OpClass.BITWISE),
+        (OpType.MUL, OpClass.ARITHMETIC),
+        (OpType.SELECT, OpClass.PREDICATION),
+        (OpType.COPY, OpClass.MEMORY),
+        (OpType.SCALAR, OpClass.CONTROL),
+    ])
+    def test_classification(self, op, expected):
+        assert OpClass.of(op) is expected
+
+
+class TestLatencyClass:
+    def test_bitwise_is_low_latency(self):
+        assert LatencyClass.of(OpType.XOR) is LatencyClass.LOW
+
+    def test_addition_is_medium_latency(self):
+        assert LatencyClass.of(OpType.ADD) is LatencyClass.MEDIUM
+
+    def test_multiplication_is_high_latency(self):
+        assert LatencyClass.of(OpType.MUL) is LatencyClass.HIGH
+
+    def test_every_op_has_a_latency_class(self):
+        for op in OpType:
+            assert LatencyClass.of(op) in LatencyClass
+
+
+class TestResources:
+    def test_ssd_resources_are_in_ssd(self):
+        for resource in SSD_RESOURCES:
+            assert resource.is_in_ssd
+
+    def test_host_resources_are_not_in_ssd(self):
+        assert not Resource.HOST_CPU.is_in_ssd
+        assert not Resource.HOST_GPU.is_in_ssd
+
+    def test_ifp_home_is_flash(self):
+        assert RESOURCE_HOME_LOCATION[Resource.IFP] is DataLocation.FLASH
+
+    def test_isp_and_pud_share_dram_home(self):
+        # ISP operates on operands staged in SSD DRAM, like PuD-SSD
+        # (paper footnote: both incur similar data-movement overheads).
+        assert RESOURCE_HOME_LOCATION[Resource.ISP] is DataLocation.SSD_DRAM
+        assert RESOURCE_HOME_LOCATION[Resource.PUD] is DataLocation.SSD_DRAM
+
+    def test_every_resource_has_a_home(self):
+        for resource in Resource:
+            assert resource in RESOURCE_HOME_LOCATION

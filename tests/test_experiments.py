@@ -1,0 +1,117 @@
+"""Tests for the experiment harnesses (tiny scales, structure-level checks)."""
+
+import pytest
+
+from repro.common import MIB
+from repro.core.platform import PlatformConfig
+from repro.experiments import (ExperimentConfig, ExperimentRunner,
+                               format_table, nested_to_rows, run_case_study,
+                               run_overheads, run_table3, speedup_table,
+                               to_json)
+from repro.experiments.fig8_tail_latency import (TAIL_POLICIES,
+                                                 run_tail_latency)
+from repro.experiments.fig9_offload_decisions import run_offload_decisions
+from repro.experiments.fig10_timeline import phase_summary, run_timeline
+from repro.ssd.config import small_ssd_config
+from repro.workloads import AESWorkload, Jacobi1DWorkload
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    platform = PlatformConfig(ssd=small_ssd_config(),
+                              dram_compute_window_bytes=1 * MIB,
+                              sram_window_bytes=256 * 1024,
+                              host_cache_bytes=1 * MIB)
+    return ExperimentConfig(workload_scale=0.03, platform=platform)
+
+
+@pytest.fixture(scope="module")
+def runner(tiny_config) -> ExperimentRunner:
+    return ExperimentRunner(tiny_config)
+
+
+class TestRunner:
+    def test_program_cache_reuses_programs(self, runner):
+        workload = AESWorkload(scale=0.03)
+        first = runner.program_for(workload)
+        second = runner.program_for(workload)
+        assert first is second
+
+    def test_run_host_and_ndp_policies(self, runner):
+        workload = Jacobi1DWorkload(scale=0.03)
+        cpu = runner.run(workload, "CPU")
+        conduit = runner.run(workload, "Conduit")
+        assert cpu.policy == "CPU"
+        assert conduit.policy == "Conduit"
+        assert cpu.total_time_ns > 0 and conduit.total_time_ns > 0
+
+    def test_sweep_and_speedup_table(self, runner):
+        workloads = [Jacobi1DWorkload(scale=0.03)]
+        results = runner.sweep(("CPU", "Ideal", "Conduit"), workloads)
+        table = speedup_table(results, ("Ideal", "Conduit"))
+        assert "jacobi-1d" in table
+        assert "GMEAN" in table
+        assert table["jacobi-1d"]["Ideal"] > 0
+
+
+class TestFigureHarnesses:
+    def test_table3_rows(self, tiny_config):
+        rows = run_table3(tiny_config)
+        assert len(rows) == 6
+        assert all("vectorizable_%" in row for row in rows)
+
+    def test_case_study_structure(self, tiny_config):
+        rows = run_case_study(tiny_config)
+        categories = {row["category"] for row in rows}
+        models = {row["model"] for row in rows}
+        assert categories == {"I/O-Intensive", "More Compute-Intensive",
+                              "Mixed"}
+        assert models == {"OSP", "ISP", "IFP", "IFP+ISP"}
+        osp_rows = [row for row in rows if row["model"] == "OSP"]
+        for row in osp_rows:
+            assert row["normalized_time"] == pytest.approx(1.0)
+
+    def test_tail_latency_rows(self, tiny_config):
+        rows = run_tail_latency(tiny_config)
+        assert len(rows) == 2 * len(TAIL_POLICIES)
+        for row in rows:
+            assert row["p9999_us"] >= row["p99_us"] > 0
+
+    def test_offload_decision_fractions_sum_to_one(self, tiny_config):
+        rows = run_offload_decisions(tiny_config)
+        for row in rows:
+            total = row["isp"] + row["pud_ssd"] + row["ifp"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_timeline_and_phase_summary(self, tiny_config):
+        timelines = run_timeline(tiny_config, instructions=200)
+        assert set(timelines) == {"BW-Offloading", "DM-Offloading",
+                                  "Conduit"}
+        summary = phase_summary(timelines, phases=3)
+        assert summary
+        assert all(row["instructions"] > 0 for row in summary)
+
+    def test_overheads_report(self, tiny_config):
+        overheads = run_overheads(tiny_config)
+        assert overheads["translation_table_bytes"] <= 1536
+        assert overheads["avg_runtime_overhead_us"] > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_nested_to_rows(self):
+        rows = nested_to_rows({"w1": {"p": 1.0}}, index_name="workload")
+        assert rows == [{"workload": "w1", "p": 1.0}]
+
+    def test_to_json_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = to_json({"x": 1}, path=str(path))
+        assert path.read_text() == text

@@ -1,0 +1,78 @@
+"""Tests for flash channels and controllers."""
+
+import pytest
+
+from repro.ssd.config import NANDConfig
+from repro.ssd.flash_controller import FlashChannelSubsystem
+
+
+def config() -> NANDConfig:
+    return NANDConfig(channels=2, dies_per_channel=2, planes_per_die=1,
+                      blocks_per_plane=8, pages_per_block=16)
+
+
+class TestReadPath:
+    def test_read_latency_includes_sense_and_transfer(self):
+        subsystem = FlashChannelSubsystem(config())
+        timing = subsystem.read_page(0.0, channel=0, die=0)
+        assert timing.end > config().read_latency_ns
+        assert timing.die_done >= config().read_latency_ns
+        assert timing.channel_busy_ns > 0
+
+    def test_read_without_transfer_is_cheaper(self):
+        subsystem = FlashChannelSubsystem(config())
+        with_transfer = subsystem.read_page(0.0, 0, 0, transfer_out=True)
+        subsystem_2 = FlashChannelSubsystem(config())
+        without = subsystem_2.read_page(0.0, 0, 0, transfer_out=False)
+        assert without.end < with_transfer.end
+
+    def test_reads_on_same_die_serialize(self):
+        subsystem = FlashChannelSubsystem(config())
+        first = subsystem.read_page(0.0, 0, 0)
+        second = subsystem.read_page(0.0, 0, 0)
+        assert second.die_done >= first.die_done + config().read_latency_ns
+
+    def test_reads_on_different_channels_overlap(self):
+        subsystem = FlashChannelSubsystem(config())
+        first = subsystem.read_page(0.0, 0, 0)
+        second = subsystem.read_page(0.0, 1, 0)
+        # Channel-parallel reads should not be serialized die-to-die.
+        assert second.die_done < first.die_done + config().read_latency_ns
+
+    def test_invalid_channel_raises(self):
+        subsystem = FlashChannelSubsystem(config())
+        with pytest.raises(Exception):
+            subsystem.read_page(0.0, channel=99, die=0)
+
+
+class TestProgramErase:
+    def test_program_latency_dominated_by_tprog(self):
+        subsystem = FlashChannelSubsystem(config())
+        timing = subsystem.program_page(0.0, 0, 0)
+        assert timing.end >= config().program_latency_ns
+
+    def test_erase_latency(self):
+        subsystem = FlashChannelSubsystem(config())
+        timing = subsystem.erase_block(0.0, 0, 1)
+        assert timing.end >= config().erase_latency_ns
+
+
+class TestInFlashOperation:
+    def test_in_flash_op_occupies_die_not_channel(self):
+        subsystem = FlashChannelSubsystem(config())
+        timing = subsystem.in_flash_operation(0.0, 0, 0, duration_ns=1000.0)
+        # Only the command crosses the channel.
+        assert timing.channel_busy_ns < 1000.0
+        assert timing.end >= 1000.0
+
+    def test_uncontended_estimates_are_consistent(self):
+        subsystem = FlashChannelSubsystem(config())
+        read_estimate = subsystem.uncontended_read_latency()
+        timing = subsystem.read_page(0.0, 0, 0)
+        assert timing.latency == pytest.approx(read_estimate, rel=0.2)
+
+    def test_channel_utilization_increases_with_traffic(self):
+        subsystem = FlashChannelSubsystem(config())
+        assert subsystem.channel_utilization(1000.0) == 0.0
+        subsystem.read_page(0.0, 0, 0)
+        assert subsystem.channel_utilization(1e5) > 0.0

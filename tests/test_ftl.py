@@ -1,0 +1,192 @@
+"""Tests for the FTL, page allocator, garbage collector and wear-leveler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import SimulationError
+from repro.ssd.allocator import AllocationPolicy, PageAllocator
+from repro.ssd.config import FTLConfig, NANDConfig
+from repro.ssd.ftl import FlashTranslationLayer, MappingCache
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.nand import NANDArray
+from repro.ssd.wear_leveling import WearLeveler
+
+
+def nand_config() -> NANDConfig:
+    return NANDConfig(channels=2, dies_per_channel=2, planes_per_die=1,
+                      blocks_per_plane=8, pages_per_block=8)
+
+
+def make_ftl(coverage: float = 0.5) -> FlashTranslationLayer:
+    config = FTLConfig(mapping_cache_coverage=coverage)
+    return FlashTranslationLayer(NANDArray(nand_config()), config)
+
+
+class TestMappingCache:
+    def test_lru_eviction(self):
+        cache = MappingCache(capacity_entries=2)
+        from repro.ssd.nand import PhysicalPageAddress
+        a = PhysicalPageAddress(0, 0, 0, 0, 0)
+        cache.insert(1, a)
+        cache.insert(2, a)
+        cache.lookup(1)          # make 1 most recently used
+        cache.insert(3, a)       # evicts 2
+        assert cache.lookup(2) is None
+        assert cache.lookup(1) is not None
+        assert cache.lookup(3) is not None
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            MappingCache(0)
+
+
+class TestAllocator:
+    def test_channel_striping_balances_channels(self):
+        array = NANDArray(nand_config())
+        allocator = PageAllocator(array, AllocationPolicy.CHANNEL_STRIPED)
+        for lpa in range(32):
+            allocator.allocate(lpa)
+        balance = allocator.allocation_balance()
+        assert max(balance.values()) - min(balance.values()) <= 1
+
+    def test_colocated_allocation_uses_one_block(self):
+        array = NANDArray(nand_config())
+        allocator = PageAllocator(array)
+        addresses = allocator.allocate_colocated(range(6))
+        blocks = {(a.channel, a.die, a.plane, a.block) for a in addresses}
+        assert len(blocks) == 1
+
+    def test_colocation_larger_than_block_raises(self):
+        array = NANDArray(nand_config())
+        allocator = PageAllocator(array)
+        with pytest.raises(SimulationError):
+            allocator.allocate_colocated(range(100))
+
+
+class TestFTL:
+    def test_write_then_lookup(self):
+        ftl = make_ftl()
+        ppa = ftl.write(10)
+        found, latency = ftl.lookup(10)
+        assert found == ppa
+        assert latency > 0
+
+    def test_overwrite_invalidates_previous_page(self):
+        ftl = make_ftl()
+        first = ftl.write(10)
+        second = ftl.write(10)
+        assert first != second
+        assert ftl.array.block(first.block_address()).invalid_pages == 1
+
+    def test_cache_hit_is_faster_than_miss(self):
+        ftl = make_ftl(coverage=0.01)
+        ftl.write(1)
+        _, hit_latency = ftl.lookup(1)
+        # Unmapped, never-cached page incurs the flash-resident lookup cost.
+        _, miss_latency = ftl.lookup(999)
+        assert hit_latency < miss_latency
+
+    def test_hit_rate_statistics(self):
+        ftl = make_ftl()
+        ftl.write(1)
+        ftl.lookup(1)
+        ftl.lookup(1)
+        assert ftl.stats.hit_rate > 0.5
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.write(5)
+        ftl.trim(5)
+        assert ftl.translate(5) is None
+
+    def test_relocate_moves_page(self):
+        ftl = make_ftl()
+        original = ftl.write(7)
+        moved = ftl.relocate(7)
+        assert moved != original
+        assert ftl.translate(7) == moved
+        assert ftl.stats.relocated_pages == 1
+
+    def test_relocate_unmapped_raises(self):
+        with pytest.raises(SimulationError):
+            make_ftl().relocate(123)
+
+    def test_write_colocated_groups_share_block(self):
+        ftl = make_ftl()
+        mapping = ftl.write_colocated([1, 2, 3])
+        blocks = {(p.channel, p.die, p.plane, p.block)
+                  for p in mapping.values()}
+        assert len(blocks) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_stays_consistent_under_overwrites(self, lpas):
+        ftl = make_ftl()
+        for lpa in lpas:
+            ftl.write(lpa)
+        # Every mapped LPA must point at a valid page storing that LPA.
+        for lpa in set(lpas):
+            ppa = ftl.translate(lpa)
+            assert ppa is not None
+            assert ftl.array.read_page(ppa) == lpa
+        # Valid page count equals number of distinct live LPAs.
+        assert ftl.array.valid_page_count() == len(set(lpas))
+
+
+class TestGarbageCollection:
+    def test_gc_not_triggered_when_free(self):
+        ftl = make_ftl()
+        gc = GarbageCollector(ftl, ftl.config)
+        result = gc.collect()
+        assert not result.triggered
+
+    def test_gc_reclaims_invalid_blocks(self):
+        ftl = make_ftl()
+        gc = GarbageCollector(ftl, FTLConfig(gc_start_threshold=0.95,
+                                             gc_stop_threshold=0.96))
+        # Overwrite the same LPAs repeatedly to create invalid pages.
+        for _ in range(4):
+            for lpa in range(16):
+                ftl.write(lpa)
+        result = gc.collect()
+        assert result.triggered
+        assert result.erased_blocks > 0
+        assert result.latency_ns > 0
+
+    def test_victim_selection_prefers_most_invalid(self):
+        ftl = make_ftl()
+        for _ in range(3):
+            for lpa in range(8):
+                ftl.write(lpa)
+        gc = GarbageCollector(ftl, ftl.config)
+        victim = gc.select_victim()
+        assert victim is not None
+        assert victim.invalid_pages > 0
+
+
+class TestWearLeveling:
+    def test_balanced_array_needs_no_leveling(self):
+        ftl = make_ftl()
+        leveler = WearLeveler(ftl, ftl.config)
+        assert not leveler.needs_leveling()
+        assert not leveler.level().triggered
+
+    def test_imbalance_detection_after_erases(self):
+        ftl = make_ftl()
+        leveler = WearLeveler(ftl, FTLConfig(wear_leveling_threshold=1.1))
+        for lpa in range(4):
+            ftl.write(lpa)
+        block = ftl.translate(0).block_address()
+        # Erase an unrelated free block many times to skew the counters.
+        free_block = None
+        for candidate in ftl.array.iter_blocks():
+            if candidate.write_cursor == 0:
+                free_block = candidate
+                break
+        for _ in range(5):
+            ftl.array.erase_block(free_block.address)
+        assert leveler.imbalance() > 1.1
+        result = leveler.level()
+        assert result.triggered
+        assert result.migrated_pages > 0

@@ -1,0 +1,80 @@
+"""Tests for the per-resource execution queues."""
+
+import pytest
+
+from repro.common import Resource
+from repro.ssd.queues import ExecutionQueue, ResourceQueueSet
+
+
+class TestExecutionQueue:
+    def test_pending_latency_counter(self):
+        queue = ExecutionQueue(Resource.ISP, parallelism=1)
+        queue.enqueue(1, now=0.0, estimated_latency=100.0)
+        queue.enqueue(2, now=0.0, estimated_latency=50.0)
+        assert queue.pending_latency() == pytest.approx(150.0)
+        queue.complete(1)
+        assert queue.pending_latency() == pytest.approx(50.0)
+        queue.complete(2)
+        assert queue.pending_latency() == 0.0
+
+    def test_depth_tracks_outstanding_instructions(self):
+        queue = ExecutionQueue(Resource.PUD, parallelism=2)
+        queue.enqueue(1, 0.0, 10.0)
+        queue.enqueue(2, 0.0, 10.0)
+        assert queue.depth == 2
+        queue.complete(2)
+        assert queue.depth == 1
+
+    def test_queueing_delay_scales_with_backlog(self):
+        queue = ExecutionQueue(Resource.IFP, parallelism=4)
+        assert queue.queueing_delay(0.0) == 0.0
+        for uid in range(8):
+            queue.enqueue(uid, 0.0, 100.0)
+        # 8 instructions of 100 ns over 4 parallel units -> ~200 ns backlog.
+        assert queue.queueing_delay(0.0) == pytest.approx(200.0)
+
+    def test_reserve_uses_parallel_units(self):
+        queue = ExecutionQueue(Resource.IFP, parallelism=2)
+        queue.enqueue(1, 0.0, 100.0)
+        queue.enqueue(2, 0.0, 100.0)
+        queue.enqueue(3, 0.0, 100.0)
+        first = queue.reserve(1, 0.0, 100.0)
+        second = queue.reserve(2, 0.0, 100.0)
+        third = queue.reserve(3, 0.0, 100.0)
+        assert first.start == 0.0 and second.start == 0.0
+        assert third.start == pytest.approx(100.0)
+
+    def test_completion_records_are_kept(self):
+        queue = ExecutionQueue(Resource.ISP, parallelism=1)
+        queue.enqueue(1, 0.0, 10.0)
+        queue.reserve(1, 0.0, 10.0)
+        entry = queue.complete(1)
+        assert entry.completion_time == pytest.approx(10.0)
+        assert len(queue.completed) == 1
+
+
+class TestResourceQueueSet:
+    def queues(self) -> ResourceQueueSet:
+        return ResourceQueueSet(isp_parallelism=1, pud_parallelism=8,
+                                ifp_parallelism=16)
+
+    def test_all_three_resources_present(self):
+        queues = self.queues()
+        for resource in (Resource.ISP, Resource.PUD, Resource.IFP):
+            assert queues[resource].resource is resource
+
+    def test_queueing_delays_reports_all_resources(self):
+        queues = self.queues()
+        delays = queues.queueing_delays(0.0)
+        assert set(delays) == {Resource.ISP, Resource.PUD, Resource.IFP}
+
+    def test_busiest_identifies_loaded_resource(self):
+        queues = self.queues()
+        queues[Resource.ISP].enqueue(1, 0.0, 1000.0)
+        assert queues.busiest(0.0) is Resource.ISP
+
+    def test_total_completed(self):
+        queues = self.queues()
+        queues[Resource.PUD].enqueue(1, 0.0, 5.0)
+        queues[Resource.PUD].complete(1)
+        assert queues.total_completed() == 1

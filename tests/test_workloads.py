@@ -1,0 +1,110 @@
+"""Tests for the six evaluated workloads and their characterization."""
+
+import pytest
+
+from repro.common import LatencyClass, OpType
+from repro.workloads import (ALL_WORKLOADS, AESWorkload, Heat3DWorkload,
+                             Jacobi1DWorkload, LLMTrainingWorkload,
+                             LlamaInferenceWorkload, XORFilterWorkload,
+                             characterization_table, characterize,
+                             default_workloads, measure_reuse, operation_mix)
+
+SMALL_SCALE = 0.05
+
+
+@pytest.fixture(params=ALL_WORKLOADS, ids=lambda cls: cls.name)
+def workload(request):
+    return request.param(scale=SMALL_SCALE)
+
+
+class TestWorkloadConstruction:
+    def test_program_builds_and_vectorizes(self, workload):
+        program, report = workload.vector_program()
+        assert len(program) > 0
+        program.validate()
+        assert 0.0 < report.vectorizable_fraction <= 1.0
+
+    def test_footprint_positive(self, workload):
+        assert workload.footprint_bytes() > 0
+
+    def test_scale_grows_footprint(self):
+        small = AESWorkload(scale=0.05).footprint_bytes()
+        large = AESWorkload(scale=0.5).footprint_bytes()
+        assert large > small
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(Exception):
+            AESWorkload(scale=0.0)
+
+    def test_describe_contains_category(self, workload):
+        description = workload.describe()
+        assert description["name"] == workload.name
+        assert description["footprint_bytes"] > 0
+
+
+class TestWorkloadCharacteristics:
+    def test_vectorizable_fraction_tracks_paper(self, workload):
+        measured = characterize(workload)
+        paper = workload.paper.vectorizable_fraction
+        assert measured.vectorizable_fraction == pytest.approx(paper,
+                                                               abs=0.15)
+
+    def test_operation_mix_sums_to_one(self, workload):
+        measured = characterize(workload)
+        total = (measured.low_latency_fraction +
+                 measured.medium_latency_fraction +
+                 measured.high_latency_fraction)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_reuse_is_positive(self, workload):
+        assert characterize(workload).average_reuse > 0
+
+    def test_aes_is_bitwise_dominated(self):
+        measured = characterize(AESWorkload(scale=SMALL_SCALE))
+        assert measured.low_latency_fraction > 0.7
+        assert measured.high_latency_fraction == pytest.approx(0.0, abs=0.02)
+
+    def test_xor_filter_is_medium_dominated(self):
+        measured = characterize(XORFilterWorkload(scale=SMALL_SCALE))
+        assert measured.medium_latency_fraction > 0.8
+
+    def test_stencils_have_high_latency_share(self):
+        heat = characterize(Heat3DWorkload(scale=SMALL_SCALE))
+        jacobi = characterize(Jacobi1DWorkload(scale=SMALL_SCALE))
+        assert 0.2 < heat.high_latency_fraction < 0.6
+        assert 0.2 < jacobi.high_latency_fraction < 0.5
+
+    def test_llm_workloads_have_no_bitwise_ops(self):
+        for workload_cls in (LlamaInferenceWorkload, LLMTrainingWorkload):
+            measured = characterize(workload_cls(scale=SMALL_SCALE))
+            assert measured.low_latency_fraction == pytest.approx(0.0,
+                                                                  abs=0.02)
+
+    def test_llama_has_higher_mul_share_than_training(self):
+        llama = characterize(LlamaInferenceWorkload(scale=SMALL_SCALE))
+        training = characterize(LLMTrainingWorkload(scale=SMALL_SCALE))
+        assert llama.high_latency_fraction > training.high_latency_fraction
+
+    def test_aes_reuse_exceeds_streaming_workloads(self):
+        aes = characterize(AESWorkload(scale=SMALL_SCALE))
+        llama = characterize(LlamaInferenceWorkload(scale=SMALL_SCALE))
+        assert aes.average_reuse > llama.average_reuse
+
+
+class TestCharacterizationTable:
+    def test_table_has_one_row_per_workload(self):
+        rows = characterization_table(default_workloads(scale=SMALL_SCALE))
+        assert len(rows) == 6
+        names = {row["workload"] for row in rows}
+        assert names == {cls.name for cls in ALL_WORKLOADS}
+
+    def test_rows_contain_paper_reference_values(self):
+        rows = characterization_table([AESWorkload(scale=SMALL_SCALE)])
+        assert rows[0]["paper_vectorizable_%"] == 65.0
+        assert rows[0]["paper_avg_reuse"] == 15.2
+
+    def test_measure_reuse_and_mix_directly(self):
+        program, _ = Jacobi1DWorkload(scale=SMALL_SCALE).vector_program()
+        assert measure_reuse(program) > 1.0
+        mix = operation_mix(program)
+        assert mix[LatencyClass.MEDIUM] > 0
