@@ -73,6 +73,10 @@ class CoherenceDirectory:
     def __init__(self, policy: CoherencePolicy = CoherencePolicy.LAZY) -> None:
         self.policy = policy
         self._entries: Dict[int, CoherenceEntry] = {}
+        #: Logical pages currently in the DIRTY state.  The run-granular
+        #: entry points use this index to skip per-page scans of runs whose
+        #: pages are all clean (the common case on the read path).
+        self._dirty: set = set()
         self.flushes = 0
         self.version_wraps = 0
 
@@ -114,7 +118,36 @@ class CoherenceDirectory:
                 and entry.owner is not reader_location):
             actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
                                       reason="remote read of dirty page"))
-            self._commit(entry)
+            self._commit(lpa, entry)
+        return actions
+
+    def on_read_run(self, base_lpa: int, count: int,
+                    reader_location: DataLocation) -> List[SyncAction]:
+        """Run-granular :meth:`on_read` over ``[base_lpa, base_lpa+count)``.
+
+        Equivalent to calling ``on_read`` for every page of the run in
+        ascending order.  When no page of the run is dirty (checked against
+        the dirty index without touching per-page entries), the scan reduces
+        to materialising the run's tracking entries.
+        """
+        end = base_lpa + count
+        dirty = self._dirty
+        if dirty:
+            if len(dirty) <= count:
+                overlap = any(base_lpa <= lpa < end for lpa in dirty)
+            else:
+                overlap = not dirty.isdisjoint(range(base_lpa, end))
+        else:
+            overlap = False
+        if not overlap:
+            entries = self._entries
+            for lpa in range(base_lpa, end):
+                if lpa not in entries:
+                    entries[lpa] = CoherenceEntry()
+            return []
+        actions: List[SyncAction] = []
+        for lpa in range(base_lpa, end):
+            actions.extend(self.on_read(lpa, reader_location))
         return actions
 
     # -- Writes -----------------------------------------------------------------
@@ -128,20 +161,29 @@ class CoherenceDirectory:
                 and entry.owner is not writer_location):
             actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
                                       reason="remote write of dirty page"))
-            self._commit(entry)
+            self._commit(lpa, entry)
         entry.owner = writer_location
         entry.state = PageCoherenceState.DIRTY
+        self._dirty.add(lpa)
         entry.version += 1
         if entry.version >= _VERSION_WRAP:
             # Flush before the counter wraps (correctness rule, footnote 4).
             actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
                                       reason="version counter wrap"))
-            self._commit(entry)
+            self._commit(lpa, entry)
             self.version_wraps += 1
         if self.policy is CoherencePolicy.STRICT:
             actions.append(SyncAction(lpa=lpa, from_location=writer_location,
                                       reason="strict coherence write-through"))
-            self._commit(entry)
+            self._commit(lpa, entry)
+        return actions
+
+    def on_write_run(self, base_lpa: int, count: int,
+                     writer_location: DataLocation) -> List[SyncAction]:
+        """Run-granular :meth:`on_write` (every write mutates its entry)."""
+        actions: List[SyncAction] = []
+        for lpa in range(base_lpa, base_lpa + count):
+            actions.extend(self.on_write(lpa, writer_location))
         return actions
 
     # -- Evictions / maintenance -----------------------------------------------------
@@ -152,7 +194,7 @@ class CoherenceDirectory:
         if entry.state is PageCoherenceState.DIRTY:
             action = SyncAction(lpa=lpa, from_location=entry.owner,
                                 reason="eviction from temporary location")
-            self._commit(entry)
+            self._commit(lpa, entry)
             return [action]
         entry.owner = DataLocation.FLASH
         return []
@@ -168,7 +210,7 @@ class CoherenceDirectory:
             if entry.state is PageCoherenceState.DIRTY:
                 actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
                                           reason="garbage collection"))
-                self._commit(entry)
+                self._commit(lpa, entry)
         return actions
 
     def on_power_cycle(self) -> List[SyncAction]:
@@ -177,13 +219,14 @@ class CoherenceDirectory:
             if entry.state is PageCoherenceState.DIRTY:
                 actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
                                           reason="power cycle"))
-                self._commit(entry)
+                self._commit(lpa, entry)
         return actions
 
     # -- Internal ------------------------------------------------------------------------
 
-    def _commit(self, entry: CoherenceEntry) -> None:
+    def _commit(self, lpa: int, entry: CoherenceEntry) -> None:
         entry.owner = DataLocation.FLASH
         entry.state = PageCoherenceState.CLEAN
         entry.version = 0
+        self._dirty.discard(lpa)
         self.flushes += 1

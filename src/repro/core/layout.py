@@ -6,6 +6,13 @@ reasons about operand locations in units of logical pages.  This module maps
 the compiler-level view (arrays and element ranges) onto logical page
 numbers so the runtime, the coherence directory and the data-movement engine
 all speak the same address space.
+
+Arrays map to *contiguous* logical page ranges, so every operand region is
+one contiguous LPA run.  :meth:`ArrayLayout.page_run_of` resolves an operand
+to its ``(base_lpa, page_count)`` run -- the currency of the run-batched
+data-movement engine -- and both it and :meth:`ArrayLayout.pages_of` are
+memoized so the offloader, the feature collector and the runtimes never
+rebuild per-instruction page lists for operands they have already seen.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ class ArrayLayout:
         self.page_size_bytes = page_size_bytes
         self._next_lpa = base_lpa
         self._placements: Dict[str, ArrayPlacement] = {}
+        #: Memoized operand resolutions keyed by (ref, element_bits).
+        self._run_cache: Dict[Tuple[ArrayRef, int], Tuple[int, int]] = {}
 
     # -- Construction -----------------------------------------------------------
 
@@ -75,16 +84,39 @@ class ArrayLayout:
             lpas.extend(range(placement.base_lpa, placement.end_lpa))
         return lpas
 
+    def page_run_of(self, ref: ArrayRef, element_bits: int
+                    ) -> Tuple[int, int]:
+        """Contiguous LPA run ``(base_lpa, count)`` of an operand region.
+
+        Arrays occupy contiguous logical page ranges, so a contiguous
+        element region always resolves to one contiguous run.  Resolutions
+        are memoized: repeated instructions over the same operand regions
+        (the common case in vectorized loops) hit the cache.
+        """
+        key = (ref, element_bits)
+        run = self._run_cache.get(key)
+        if run is None:
+            placement = self.placement(ref.array)
+            start_byte = ref.offset * element_bits // 8
+            end_byte = ref.end * element_bits // 8
+            first = start_byte // self.page_size_bytes
+            last = max(first, math.ceil(end_byte / self.page_size_bytes) - 1)
+            first = min(first, placement.pages - 1)
+            last = min(last, placement.pages - 1)
+            run = (placement.base_lpa + first, last - first + 1)
+            self._run_cache[key] = run
+        return run
+
     def pages_of(self, ref: ArrayRef, element_bits: int) -> List[int]:
-        """Logical pages covered by an operand region."""
-        placement = self.placement(ref.array)
-        start_byte = ref.offset * element_bits // 8
-        end_byte = ref.end * element_bits // 8
-        first = start_byte // self.page_size_bytes
-        last = max(first, math.ceil(end_byte / self.page_size_bytes) - 1)
-        first = min(first, placement.pages - 1)
-        last = min(last, placement.pages - 1)
-        return [placement.base_lpa + page for page in range(first, last + 1)]
+        """Logical pages covered by an operand region.
+
+        The resolution itself is memoized through :meth:`page_run_of`; the
+        returned list is freshly built, so callers may mutate it.  Hot-path
+        consumers should use :meth:`page_run_of` directly and avoid
+        materializing page lists at all.
+        """
+        base, count = self.page_run_of(ref, element_bits)
+        return list(range(base, base + count))
 
     def colocation_groups(self, pages_per_block: int
                           ) -> List[List[int]]:
@@ -93,12 +125,17 @@ class ArrayLayout:
         Groups consecutive pages of each array into block-sized chunks so
         that in-flash bitwise operations over an array region find their
         operands colocated (Flash-Cosmos layout constraint, Section 4.4).
+        Chunks are sliced directly from each placement's LPA range, so no
+        full per-array page list is materialized; single-page groups carry
+        no colocation constraint and are skipped.
         """
+        if pages_per_block <= 0:
+            raise SimulationError("pages_per_block must be positive")
         groups: List[List[int]] = []
         for placement in self._placements.values():
-            lpas = list(range(placement.base_lpa, placement.end_lpa))
-            for start in range(0, len(lpas), pages_per_block):
-                group = lpas[start:start + pages_per_block]
-                if len(group) > 1:
-                    groups.append(group)
+            for start in range(placement.base_lpa, placement.end_lpa,
+                               pages_per_block):
+                end = min(start + pages_per_block, placement.end_lpa)
+                if end - start > 1:
+                    groups.append(list(range(start, end)))
         return groups

@@ -22,7 +22,7 @@ runtime-overhead analysis (3.77 us average, up to 33 us) can be reproduced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common import (DataLocation, OpType, Resource, SSD_RESOURCES,
                           US)
@@ -95,19 +95,28 @@ class FeatureCollector:
         self.total_collection_latency_ns = 0.0
         self.max_collection_latency_ns = 0.0
 
-    # -- Operand pages ---------------------------------------------------------
+    # -- Operand runs / pages -----------------------------------------------------
 
-    def operand_pages(self, instruction: VectorInstruction) -> List[int]:
-        pages: List[int] = []
-        for ref in instruction.array_sources:
-            pages.extend(self.layout.pages_of(ref, instruction.element_bits))
-        return pages
+    def operand_runs(self, instruction: VectorInstruction
+                     ) -> List[Tuple[int, int]]:
+        """Contiguous ``(base_lpa, count)`` runs of the source operands.
 
-    def destination_pages(self, instruction: VectorInstruction) -> List[int]:
+        Per-operand resolutions are memoized in the layout, so this is a
+        cheap list build over cached tuples (no per-uid cache is kept: it
+        would retain O(program-size) memory for negligible savings).
+        """
+        element_bits = instruction.element_bits
+        run_of = self.layout.page_run_of
+        return [run_of(ref, element_bits)
+                for ref in instruction.array_sources]
+
+    def destination_run(self, instruction: VectorInstruction
+                        ) -> Optional[Tuple[int, int]]:
+        """Contiguous run of the destination operand (None if no dest)."""
         if instruction.dest is None:
-            return []
-        return self.layout.pages_of(instruction.dest,
-                                    instruction.element_bits)
+            return None
+        return self.layout.page_run_of(instruction.dest,
+                                       instruction.element_bits)
 
     # -- Collection ----------------------------------------------------------------
 
@@ -120,16 +129,27 @@ class FeatureCollector:
         the runtime derives from its completion-time bookkeeping.
         """
         platform = self.platform
-        operand_pages = self.operand_pages(instruction)
-        locations = platform.locations_of_pages(operand_pages)
-        mapping_cache = platform.ssd.ftl.cache
-        collection_ns = 0.0
-        # (2) operand location: one L2P lookup per operand page.
-        for lpa in operand_pages:
-            if mapping_cache.lookup(lpa) is not None:
-                collection_ns += L2P_DRAM_LOOKUP_NS
-            else:
-                collection_ns += L2P_FLASH_LOOKUP_NS
+        runs = self.operand_runs(instruction)
+        # (2) operand location: one pass over the operand runs resolves the
+        # location histogram (via the residence index) and the L2P lookup
+        # cost (one mapping-cache probe per page, preserving the cache's
+        # LRU order) together, instead of two per-page sweeps.
+        residence = platform.residence
+        mapping_lookup = platform.ssd.ftl.cache.lookup
+        flash = DataLocation.FLASH
+        locations: Dict[DataLocation, int] = {}
+        l2p_hits = 0
+        l2p_misses = 0
+        for base, run_pages in runs:
+            for lpa in range(base, base + run_pages):
+                location = residence.get(lpa, flash)
+                locations[location] = locations.get(location, 0) + 1
+                if mapping_lookup(lpa) is not None:
+                    l2p_hits += 1
+                else:
+                    l2p_misses += 1
+        collection_ns = (l2p_hits * L2P_DRAM_LOOKUP_NS +
+                         l2p_misses * L2P_FLASH_LOOKUP_NS)
         # (3) dependence delay: scan the execution queues for the pending
         # producers of this instruction's operands.
         dependence_delay = (pending_producer_latency

@@ -23,6 +23,7 @@ overhead of Section 4.5.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -85,8 +86,10 @@ class SSDOffloader:
                                           self.config.feature_config)
         self.transformer = InstructionTransformer(platform)
         self.decisions: List[OffloadDecision] = []
-        #: In-flight queue entries: resource -> list of (uid, end time).
-        self._in_flight: Dict[Resource, List[Tuple[int, float]]] = {
+        #: In-flight queue entries: resource -> min-heap of (end time, uid),
+        #: so draining pops only the entries that actually completed instead
+        #: of rebuilding the whole list on every offload call.
+        self._in_flight: Dict[Resource, List[Tuple[float, int]]] = {
             resource: [] for resource in
             (Resource.ISP, Resource.PUD, Resource.IFP)}
 
@@ -94,15 +97,14 @@ class SSDOffloader:
 
     def _drain_queues(self, now: float) -> None:
         """Retire queue entries whose completion time has passed."""
-        for resource, entries in self._in_flight.items():
-            remaining: List[Tuple[int, float]] = []
-            queue = self.platform.queues[resource]
-            for uid, end in entries:
-                if end <= now:
-                    queue.complete(uid)
-                else:
-                    remaining.append((uid, end))
-            self._in_flight[resource] = remaining
+        queues = self.platform.queues
+        for resource, heap in self._in_flight.items():
+            if not heap or heap[0][0] > now:
+                continue
+            queue = queues[resource]
+            while heap and heap[0][0] <= now:
+                _, uid = heapq.heappop(heap)
+                queue.complete(uid)
 
     # -- Main entry point -------------------------------------------------------------
 
@@ -171,18 +173,18 @@ class SSDOffloader:
                       overhead_ns: float) -> OffloadDecision:
         platform = self.platform
         home = platform.home_location(resource)
-        source_pages = self.collector.operand_pages(instruction)
-        dest_pages = self.collector.destination_pages(instruction)
+        source_runs = self.collector.operand_runs(instruction)
+        dest_run = self.collector.destination_run(instruction)
 
         move_start = max(issue_ns, deps_ready_ns)
         # Lazy coherence: a read of a page whose dirty copy lives elsewhere
         # commits that page to flash before it can be re-read.
         commit_end = move_start
-        for lpa in source_pages:
-            for action in platform.coherence.on_read(lpa, home):
+        for base, count in source_runs:
+            for action in platform.coherence.on_read_run(base, count, home):
                 commit_end = max(commit_end, platform.ensure_pages_at(
-                    move_start, [action.lpa], DataLocation.FLASH))
-        dm_end = platform.ensure_pages_at(commit_end, source_pages, home)
+                    move_start, (action.lpa,), DataLocation.FLASH))
+        dm_end = platform.ensure_runs_at(commit_end, source_runs, home)
         data_movement_ns = dm_end - move_start
 
         compute = platform.compute_latency(resource, instruction.op,
@@ -192,7 +194,8 @@ class SSDOffloader:
         queue.enqueue(instruction.uid, issue_ns, compute)
         ready = max(dm_end, deps_ready_ns)
         reservation = queue.reserve(instruction.uid, ready, compute)
-        self._in_flight[resource].append((instruction.uid, reservation.end))
+        heapq.heappush(self._in_flight[resource],
+                       (reservation.end, instruction.uid))
         platform.record_compute(reservation.start, resource, instruction.op,
                                 instruction.size_bytes,
                                 instruction.element_bits)
@@ -209,9 +212,9 @@ class SSDOffloader:
                     transfers * platform.page_size)
 
         # The destination pages now live at the resource's home location.
-        for lpa in dest_pages:
-            platform.coherence.on_write(lpa, home)
-        platform.mark_produced(reservation.end, dest_pages, home)
+        if dest_run is not None:
+            platform.coherence.on_write_run(dest_run[0], dest_run[1], home)
+            platform.mark_produced_run(reservation.end, (dest_run,), home)
 
         decision = OffloadDecision(
             instruction=instruction, resource=resource, features=features,

@@ -168,16 +168,16 @@ class HostRuntime:
         completion: Dict[int, float] = {}
         records: List[InstructionRecord] = []
         makespan = 0.0
+        run_of = layout.page_run_of
         for instruction in program.instructions:
             deps_ready = max((completion[d] for d in instruction.depends_on
                               if d in completion), default=0.0)
-            # Stream operand pages to host memory over NVMe / PCIe.
-            pages: List[int] = []
-            for ref in instruction.array_sources:
-                pages.extend(layout.pages_of(ref, instruction.element_bits))
+            # Stream operand runs to host memory over NVMe / PCIe.
+            runs = [run_of(ref, instruction.element_bits)
+                    for ref in instruction.array_sources]
             dm_start = deps_ready
-            dm_end = platform.ensure_pages_at(dm_start, pages,
-                                              DataLocation.HOST)
+            dm_end = platform.ensure_runs_at(dm_start, runs,
+                                             DataLocation.HOST)
             compute = platform.compute_latency(device, instruction.op,
                                                instruction.size_bytes,
                                                instruction.element_bits)
@@ -187,12 +187,13 @@ class HostRuntime:
                                     instruction.op, instruction.size_bytes,
                                     instruction.element_bits)
             if instruction.dest is not None:
-                dest_pages = layout.pages_of(instruction.dest,
-                                             instruction.element_bits)
-                for lpa in dest_pages:
-                    platform.coherence.on_write(lpa, DataLocation.HOST)
-                platform.mark_produced(reservation.end, dest_pages,
-                                       DataLocation.HOST)
+                dest_base, dest_count = run_of(instruction.dest,
+                                               instruction.element_bits)
+                platform.coherence.on_write_run(dest_base, dest_count,
+                                                DataLocation.HOST)
+                platform.mark_produced_run(reservation.end,
+                                           ((dest_base, dest_count),),
+                                           DataLocation.HOST)
             completion[instruction.uid] = reservation.end
             makespan = max(makespan, reservation.end)
             records.append(InstructionRecord(

@@ -87,6 +87,33 @@ class EnergyAccount:
         self.add_data_movement("host-dram", nj)
         return nj
 
+    def charge_run(self, *, flash_read_pages: int = 0,
+                   flash_program_pages: int = 0, dma_pages: int = 0,
+                   dram_bytes: int = 0, pcie_bytes: int = 0,
+                   host_dram_bytes: int = 0) -> float:
+        """Bulk-charge the data-movement energy of one contiguous page run.
+
+        The run-batched data-movement engine accumulates per-kind counts
+        while it walks a run and settles them with a single call, instead of
+        charging each page individually.  Per-kind energies are linear in
+        their counts, so the pools receive exactly what the per-page calls
+        would have added.  Returns the total energy charged (nJ).
+        """
+        total = 0.0
+        if flash_read_pages:
+            total += self.charge_flash_read(flash_read_pages)
+        if flash_program_pages:
+            total += self.charge_flash_program(flash_program_pages)
+        if dma_pages:
+            total += self.charge_channel_dma(dma_pages)
+        if dram_bytes:
+            total += self.charge_dram_access(dram_bytes)
+        if pcie_bytes:
+            total += self.charge_pcie(pcie_bytes)
+        if host_dram_bytes:
+            total += self.charge_host_dram(host_dram_bytes)
+        return total
+
     def charge_static(self, duration_ns: float, watts: float,
                       label: str = "static") -> float:
         """Charge background/static power for the duration of a run.

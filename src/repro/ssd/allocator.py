@@ -63,11 +63,12 @@ class PageAllocator:
         key = (channel, die, plane)
         plane_obj = self.array.die(channel, die).plane(plane)
         start = self._free_cursor.get(key, 0)
-        blocks = len(plane_obj.blocks)
+        blocks = plane_obj.block_count
         for offset in range(blocks):
             index = (start + offset) % blocks
-            block = plane_obj.block(index)
-            if block.write_cursor == 0 and block.valid_pages == 0:
+            # Freeness is checked without materializing the block; only the
+            # block actually selected gets built (lazy NAND array).
+            if plane_obj.is_free_block(index):
                 self._free_cursor[key] = (index + 1) % blocks
                 return PhysicalBlockAddress(channel, die, plane, index)
         return None

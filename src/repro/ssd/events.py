@@ -47,10 +47,19 @@ class Event:
     label: str = field(compare=False, default="")
     payload: object = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    #: Scheduler owning this event; lets ``cancel`` keep the scheduler's
+    #: live-event counter exact without scanning the heap.
+    scheduler: Optional["EventScheduler"] = field(compare=False, default=None,
+                                                 repr=False)
+    executed: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self.scheduler is not None:
+            self.scheduler._on_cancel()
 
 
 class EventScheduler:
@@ -61,6 +70,7 @@ class EventScheduler:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -69,8 +79,16 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-processed (and not cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-processed (and not cancelled) events.
+
+        Maintained as a live counter (incremented on ``schedule``,
+        decremented on execution and cancellation) so the query is O(1)
+        instead of a full heap scan.
+        """
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
 
     @property
     def processed(self) -> int:
@@ -87,8 +105,10 @@ class EventScheduler:
                 f"clock is already at {self._now} ns"
             )
         event = Event(time=time, priority=priority, seq=next(self._seq),
-                      callback=callback, label=label, payload=payload)
+                      callback=callback, label=label, payload=payload,
+                      scheduler=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_after(self, delay: float, callback: EventCallback, *,
@@ -108,6 +128,8 @@ class EventScheduler:
                 continue
             self._now = event.time
             self._processed += 1
+            self._live -= 1
+            event.executed = True
             event.callback(event)
             return event
         return None
@@ -133,6 +155,9 @@ class EventScheduler:
         return self._now
 
     def _peek(self) -> Optional[Event]:
+        # Opportunistically prune cancelled events so they do not pile up
+        # at the front of the heap (their live count was already released
+        # by ``Event.cancel``).
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
         return self._queue[0] if self._queue else None
@@ -146,14 +171,14 @@ class Reservation:
     end: float
     server_index: int = 0
 
-    @property
-    def wait(self) -> float:
-        """Queueing delay experienced before the work started."""
-        return max(0.0, self.end - self.start) * 0.0 + self._wait
-
     # ``wait`` is filled in by the resources below; dataclass fields keep it
     # explicit rather than recomputing from an arrival time we do not store.
     _wait: float = 0.0
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay experienced before the work started."""
+        return self._wait
 
 
 class Server:
@@ -188,6 +213,31 @@ class Server:
         self.busy_time += duration
         self.jobs += 1
         return Reservation(start=start, end=end, _wait=start - arrival)
+
+    def reserve_batch(self, arrivals: List[float],
+                      duration: float) -> List[float]:
+        """Reserve one equal-duration job per arrival; return finish times.
+
+        Exactly equivalent to calling :meth:`reserve` once per arrival in
+        order (same start/finish chain, same busy time and job count), but
+        performed as one bulk booking so run-batched data movement can
+        reserve a whole contiguous page run with a single call.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"negative duration {duration} on server {self.name}")
+        free = self._free_at
+        busy = self.busy_time
+        ends: List[float] = []
+        append = ends.append
+        for arrival in arrivals:
+            free = (arrival if arrival > free else free) + duration
+            busy += duration
+            append(free)
+        self._free_at = free
+        self.busy_time = busy
+        self.jobs += len(ends)
+        return ends
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` time this server spent busy."""
@@ -271,6 +321,21 @@ class SharedBus:
         """Reserve the bus for a transfer of ``size_bytes`` at ``arrival``."""
         self.bytes_moved += size_bytes
         return self._server.reserve(arrival, self.transfer_time(size_bytes))
+
+    def transfer_batch(self, arrivals: List[float],
+                       size_bytes_each: float) -> List[float]:
+        """Reserve back-to-back equal-sized transfers; return finish times.
+
+        The single sized booking of the run-batched data-movement engine:
+        one call occupies the bus exactly like ``len(arrivals)`` consecutive
+        :meth:`transfer` calls (bubbles included when a later arrival lands
+        after the previous transfer drains), so timing equivalence with the
+        per-page path is preserved by construction.
+        """
+        duration = self.transfer_time(size_bytes_each)
+        ends = self._server.reserve_batch(arrivals, duration)
+        self.bytes_moved += size_bytes_each * len(ends)
+        return ends
 
     def utilization(self, elapsed: float) -> float:
         return self._server.utilization(elapsed)

@@ -152,25 +152,53 @@ class FlashBlock:
 
 
 class FlashPlane:
-    """A plane: a set of blocks sharing the die's peripheral circuitry."""
+    """A plane: a set of blocks sharing the die's peripheral circuitry.
+
+    Blocks are materialized lazily: a full-size SSD has hundreds of
+    thousands of blocks, and eagerly building a :class:`FlashBlock` object
+    for each dominated platform-construction time.  A block that has never
+    been touched is, by definition, free and erased zero times, so only
+    touched blocks carry objects; aggregate queries account for the
+    untouched remainder arithmetically.
+    """
 
     def __init__(self, channel: int, die: int, plane: int,
                  blocks: int, pages_per_block: int) -> None:
         self.channel = channel
         self.die = die
         self.plane = plane
-        self.blocks = [
-            FlashBlock(PhysicalBlockAddress(channel, die, plane, b),
-                       pages_per_block)
-            for b in range(blocks)
-        ]
+        self.block_count = blocks
+        self.pages_per_block = pages_per_block
+        self._blocks: Dict[int, FlashBlock] = {}
 
     def block(self, index: int) -> FlashBlock:
-        return self.blocks[index]
+        block = self._blocks.get(index)
+        if block is None:
+            if not 0 <= index < self.block_count:
+                raise SimulationError(
+                    f"block {index} out of range for plane "
+                    f"({self.channel}, {self.die}, {self.plane})")
+            block = FlashBlock(
+                PhysicalBlockAddress(self.channel, self.die, self.plane,
+                                     index),
+                self.pages_per_block)
+            self._blocks[index] = block
+        return block
+
+    def is_free_block(self, index: int) -> bool:
+        """Whether a block is free, without materializing it."""
+        block = self._blocks.get(index)
+        return (block is None
+                or (block.write_cursor == 0 and block.valid_pages == 0))
+
+    def materialized_blocks(self) -> Iterator[FlashBlock]:
+        """The blocks that have been touched (others are free and erased)."""
+        return iter(self._blocks.values())
 
     def free_blocks(self) -> int:
-        return sum(1 for b in self.blocks
-                   if b.write_cursor == 0 and b.valid_pages == 0)
+        return (self.block_count - len(self._blocks) +
+                sum(1 for b in self._blocks.values()
+                    if b.write_cursor == 0 and b.valid_pages == 0))
 
 
 class FlashDie:
@@ -215,13 +243,20 @@ class NANDArray:
 
     def block(self, address: PhysicalBlockAddress) -> FlashBlock:
         return (self.dies[address.channel][address.die]
-                .planes[address.plane].blocks[address.block])
+                .planes[address.plane].block(address.block))
 
     def iter_blocks(self) -> Iterator[FlashBlock]:
+        """Iterate over the *materialized* blocks.
+
+        Untouched blocks are free, hold no valid or invalid pages and have
+        an erase count of zero, so every consumer of this iterator (GC
+        victim selection, wear-leveling, occupancy statistics) sees the
+        same answers as a dense scan would produce.
+        """
         for channel_dies in self.dies:
             for die in channel_dies:
                 for plane in die.planes:
-                    yield from plane.blocks
+                    yield from plane.materialized_blocks()
 
     # -- State-changing operations ------------------------------------------
 
@@ -266,9 +301,18 @@ class NANDArray:
         return sum(block.valid_pages for block in self.iter_blocks())
 
     def erase_count_stats(self) -> tuple:
-        """Return (min, mean, max) erase counts across all blocks."""
+        """Return (min, mean, max) erase counts across all blocks.
+
+        Computed over the materialized blocks plus the untouched remainder
+        (erase count zero), so the statistics match a dense scan.
+        """
         counts = [block.erase_count for block in self.iter_blocks()]
-        return min(counts), sum(counts) / len(counts), max(counts)
+        total_blocks = self.total_blocks
+        untouched = total_blocks - len(counts)
+        minimum = 0 if untouched else (min(counts) if counts else 0)
+        maximum = max(counts, default=0)
+        mean = sum(counts) / total_blocks if total_blocks else 0.0
+        return minimum, mean, maximum
 
     # -- Timing helpers ------------------------------------------------------
 

@@ -127,6 +127,32 @@ class SSD:
                                 translation_ns=translation_ns,
                                 flash_ns=timing.end - now - translation_ns)
 
+    def read_run(self, now: float, base_lpa: int, count: int, *,
+                 transfer_out: bool = True) -> List[PageAccessTiming]:
+        """Read a contiguous run of logical pages arriving together.
+
+        Run-batched variant of :meth:`read_page` used by the data-movement
+        engine: pages are still sensed and streamed individually (a run is
+        striped over channels and dies, and every page pays its own L2P
+        translation), but the loop is tight and the logical-read counter is
+        bumped once for the whole run.
+        """
+        lookup = self.ftl.lookup
+        read = self.channels.read_page
+        timings: List[PageAccessTiming] = []
+        for lpa in range(base_lpa, base_lpa + count):
+            ppa, translation_ns = lookup(lpa)
+            if ppa is None:
+                raise SimulationError(f"read of unmapped logical page {lpa}")
+            timing = read(now + translation_ns, ppa.channel, ppa.die,
+                          transfer_out=transfer_out)
+            timings.append(PageAccessTiming(
+                lpa=lpa, ppa=ppa, start_ns=now, end_ns=timing.end,
+                translation_ns=translation_ns,
+                flash_ns=timing.end - now - translation_ns))
+        self.stats.logical_reads += count
+        return timings
+
     def write_page(self, now: float, lpa: int) -> PageAccessTiming:
         """Write one logical page (out-of-place update) with timing."""
         ppa, translation_ns = self.ftl.lookup(lpa)

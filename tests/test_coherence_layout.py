@@ -151,6 +151,66 @@ class TestArrayLayout:
         flattened = [lpa for group in groups for lpa in group]
         assert len(flattened) == len(set(flattened))
 
+    def test_colocation_groups_skip_single_page_arrays(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("tiny", 16, 32))  # one page
+        assert layout.colocation_groups(pages_per_block=4) == []
+
+    def test_colocation_groups_partial_trailing_block(self):
+        layout = ArrayLayout(16 * 1024)
+        # 6 pages with 4 pages per block: one full group + a 2-page tail.
+        layout.place(ArraySpec("a", 4096 * 6, 32))
+        groups = layout.colocation_groups(pages_per_block=4)
+        assert [len(group) for group in groups] == [4, 2]
+        assert groups[0] == [0, 1, 2, 3]
+        assert groups[1] == [4, 5]
+
+    def test_colocation_groups_trailing_single_page_is_dropped(self):
+        layout = ArrayLayout(16 * 1024)
+        # 5 pages with 4 per block: the 1-page tail has no colocation
+        # constraint and must not appear as a group.
+        layout.place(ArraySpec("a", 4096 * 5, 32))
+        groups = layout.colocation_groups(pages_per_block=4)
+        assert [len(group) for group in groups] == [4]
+
+    def test_colocation_groups_match_all_lpas_coverage(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("a", 4096 * 7, 32))
+        layout.place(ArraySpec("b", 4096 * 3, 32))
+        groups = layout.colocation_groups(pages_per_block=4)
+        grouped = {lpa for group in groups for lpa in group}
+        # Grouped pages are a subset of the layout, never crossing arrays.
+        assert grouped <= set(layout.all_lpas())
+        a, b = layout.placement("a"), layout.placement("b")
+        for group in groups:
+            in_a = all(a.base_lpa <= lpa < a.end_lpa for lpa in group)
+            in_b = all(b.base_lpa <= lpa < b.end_lpa for lpa in group)
+            assert in_a or in_b
+
+    def test_page_run_of_matches_pages_of(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("a", 65536, 32))
+        ref = ArrayRef("a", 4096, 12288)
+        base, count = layout.page_run_of(ref, 32)
+        assert list(range(base, base + count)) == layout.pages_of(ref, 32)
+
+    def test_page_run_of_is_memoized(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("a", 65536, 32))
+        ref = ArrayRef("a", 0, 8192)
+        assert layout.page_run_of(ref, 32) is layout.page_run_of(ref, 32)
+        # pages_of shares the memoized resolution but hands out a fresh
+        # list, so callers may mutate their copy safely.
+        pages = layout.pages_of(ref, 32)
+        pages.append(-1)
+        assert layout.pages_of(ref, 32) == [0, 1]
+
+    def test_page_run_of_single_page_array(self):
+        layout = ArrayLayout(16 * 1024)
+        layout.place(ArraySpec("tiny", 16, 32))
+        base, count = layout.page_run_of(ArrayRef("tiny", 0, 16), 32)
+        assert (base, count) == (0, 1)
+
     @given(st.integers(min_value=1, max_value=200000),
            st.integers(min_value=0, max_value=100000),
            st.integers(min_value=1, max_value=5000))

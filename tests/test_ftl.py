@@ -178,12 +178,12 @@ class TestWearLeveling:
         for lpa in range(4):
             ftl.write(lpa)
         block = ftl.translate(0).block_address()
-        # Erase an unrelated free block many times to skew the counters.
-        free_block = None
-        for candidate in ftl.array.iter_blocks():
-            if candidate.write_cursor == 0:
-                free_block = candidate
-                break
+        # Erase an unrelated free block many times to skew the counters
+        # (blocks materialize lazily, so probe the plane for a free index).
+        plane = ftl.array.die(0, 0).plane(0)
+        free_index = next(index for index in range(plane.block_count)
+                          if plane.is_free_block(index))
+        free_block = plane.block(free_index)
         for _ in range(5):
             ftl.array.erase_block(free_block.address)
         assert leveler.imbalance() > 1.1
