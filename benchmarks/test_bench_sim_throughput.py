@@ -1,30 +1,54 @@
-"""Benchmark: simulator throughput of the run-batched movement engine.
+"""Benchmark: simulator throughput and parallel-sweep speedup.
 
 Unlike the figure benchmarks (which report *simulated* metrics), this
 benchmark tracks the *simulator's own* speed so the perf trajectory in the
-``BENCH_*.json`` archives captures the run-batched data-movement engine and
-any future hot-path work.  Two numbers are reported:
+``BENCH_*.json`` archives captures the run-batched data-movement engine,
+the sharded sweep engine and any future hot-path work.  Numbers reported:
 
 * simulated instructions per second of wall-clock for one Conduit-policy
   run of the heaviest workload (LLM Training), including platform
   construction -- a sweep builds a fresh platform per (workload, policy)
   pair, so construction is part of the real cost;
-* wall-clock for one full Fig. 7 policy sweep over all six workloads, the
-  unit of work every figure harness pays.
+* wall-clock for one full Fig. 7 policy sweep over all six workloads run
+  serially, the unit of work every figure harness pays;
+* wall-clock and speedup of the same sweep sharded over the process pool,
+  which is what makes full-paper-scale sweeps (``BENCH_SCALE = 1.0``,
+  exercised by the ``slow``-marked case) routine.
 
 The seed's per-page engine ran the full-policy sweep in ~46 s at
-``BENCH_SCALE = 0.25`` (dominated by eager NAND-array construction and
-per-page movement loops); the run-batched engine targets >= 5x on it.
+``BENCH_SCALE = 0.25``; PR 1's run-batched engine brought that to ~2.4 s,
+and the parallel engine divides the remaining wall-clock by the worker
+count on multi-core machines.
 """
 
+import os
 import time
 
-from conftest import BENCH_SCALE, run_once
+import pytest
+from conftest import BENCH_SCALE, FULL_SCALE, run_once
 
 from repro.core.platform import SSDPlatform
 from repro.core.runtime import ConduitRuntime
 from repro.core.offload.policies import make_policy
-from repro.experiments.runner import ExperimentRunner, FIG7_POLICIES
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (ExperimentRunner, FIG7_POLICIES,
+                                      resolve_sweep_workers)
+
+#: The parallel-speedup assertion needs real hardware parallelism; below
+#: this many usable CPUs the benchmark still records numbers but does not
+#: assert the >= 2x floor (4 workers timesharing 1 core cannot speed up).
+MIN_CPUS_FOR_SPEEDUP_ASSERT = 4
+
+#: Worker count targeted by the speedup benchmark (the acceptance bar is
+#: ">= 2x faster with >= 4 workers than serial").
+SPEEDUP_WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _single_run(bench_config):
@@ -46,6 +70,30 @@ def _full_sweep(bench_config):
     results = runner.sweep(FIG7_POLICIES)
     elapsed_s = time.perf_counter() - started
     return results, elapsed_s
+
+
+def _serial_vs_parallel_sweep(config, workers):
+    """Run the full Fig. 7 sweep serially, then sharded; time both."""
+    serial_runner = ExperimentRunner(config)
+    started = time.perf_counter()
+    serial = serial_runner.sweep(FIG7_POLICIES)
+    serial_s = time.perf_counter() - started
+
+    parallel_runner = ExperimentRunner(config)
+    started = time.perf_counter()
+    parallel = parallel_runner.sweep(FIG7_POLICIES, parallel=True,
+                                     workers=workers)
+    parallel_s = time.perf_counter() - started
+    return serial, serial_s, parallel, parallel_s
+
+
+def _assert_identical(serial, parallel):
+    assert list(serial) == list(parallel)
+    for key in serial:
+        assert serial[key].total_time_ns == parallel[key].total_time_ns, key
+        assert (serial[key].total_energy_nj ==
+                parallel[key].total_energy_nj), key
+        assert len(serial[key].records) == len(parallel[key].records), key
 
 
 def test_bench_sim_instruction_throughput(benchmark, bench_config):
@@ -75,9 +123,9 @@ def test_bench_full_policy_sweep_wall_clock(benchmark, bench_config):
     benchmark.extra_info["sweep_seconds"] = elapsed_s
     benchmark.extra_info["sweep_pairs"] = pairs
     benchmark.extra_info["sim_instructions_per_second"] = throughput
-    print(f"\nFull Fig. 7 policy sweep: {pairs} (workload, policy) pairs, "
-          f"{total_instructions} instructions in {elapsed_s:.2f} s "
-          f"= {throughput:,.0f} instr/s (seed: ~46 s, batched: ~3 s)")
+    print(f"\nFull Fig. 7 policy sweep (serial): {pairs} (workload, policy) "
+          f"pairs, {total_instructions} instructions in {elapsed_s:.2f} s "
+          f"= {throughput:,.0f} instr/s (per-page seed: ~46 s at 0.25)")
     # The measured speedup over the seed is ~15-20x at BENCH_SCALE=0.25
     # (seed: ~46 s); assert only a loose 2x floor, scaled with
     # BENCH_SCALE so raising the workload scale (a ROADMAP item) cannot
@@ -85,3 +133,57 @@ def test_bench_full_policy_sweep_wall_clock(benchmark, bench_config):
     # extra_info carries the authoritative numbers.
     seed_baseline_s = 46.0 * (BENCH_SCALE / 0.25)
     assert elapsed_s < seed_baseline_s / 2.0
+
+
+def test_bench_parallel_sweep_speedup(benchmark, bench_config):
+    """Sharded sweep: identical results, near-linear speedup on multicore."""
+    workers = min(resolve_sweep_workers(None), SPEEDUP_WORKERS)
+    serial, serial_s, parallel, parallel_s = run_once(
+        benchmark, _serial_vs_parallel_sweep, bench_config, workers)
+    _assert_identical(serial, parallel)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cpus = _usable_cpus()
+    benchmark.extra_info["serial_seconds"] = serial_s
+    benchmark.extra_info["parallel_seconds"] = parallel_s
+    benchmark.extra_info["parallel_speedup"] = speedup
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["usable_cpus"] = cpus
+    print(f"\nFull Fig. 7 sweep, serial {serial_s:.2f} s vs "
+          f"{workers}-worker sharded {parallel_s:.2f} s = "
+          f"{speedup:.2f}x speedup ({cpus} usable CPUs)")
+    # The >= 2x acceptance floor needs actual hardware parallelism: four
+    # workers timesharing one or two cores cannot beat serial execution.
+    # Single-core runners still verify result equality above and record
+    # the measured numbers in extra_info.
+    if workers >= SPEEDUP_WORKERS and cpus >= MIN_CPUS_FOR_SPEEDUP_ASSERT:
+        assert speedup >= 2.0, (
+            f"parallel sweep only {speedup:.2f}x faster with {workers} "
+            f"workers on {cpus} CPUs")
+
+
+@pytest.mark.slow
+def test_bench_full_scale_parallel_sweep(benchmark):
+    """The paper-scale (``workload_scale=1.0``) Fig. 7 sweep, sharded.
+
+    ``slow``-marked: run with ``pytest -m slow benchmarks`` when the full
+    Table 2 footprints are wanted; the default tier-1 run deselects it.
+    """
+    config = ExperimentConfig(workload_scale=FULL_SCALE)
+    runner = ExperimentRunner(config)
+
+    def sweep():
+        started = time.perf_counter()
+        results = runner.sweep(FIG7_POLICIES, parallel=True)
+        return results, time.perf_counter() - started
+
+    results, elapsed_s = run_once(benchmark, sweep)
+    pairs = len(results)
+    benchmark.extra_info["sweep_seconds"] = elapsed_s
+    benchmark.extra_info["sweep_pairs"] = pairs
+    benchmark.extra_info["workers"] = runner.last_sweep_stats.workers
+    print(f"\nFull-scale (1.0) Fig. 7 sweep: {pairs} pairs in "
+          f"{elapsed_s:.2f} s with {runner.last_sweep_stats.workers} "
+          "workers")
+    assert pairs == 6 * len(FIG7_POLICIES)
+    for result in results.values():
+        assert result.total_time_ns > 0

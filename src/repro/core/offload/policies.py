@@ -179,6 +179,30 @@ class AresFlashPolicy(OffloadingPolicy):
         return self._fallback(features)
 
 
+class NaiveIFPISPPolicy(OffloadingPolicy):
+    """Naively alternate between IFP and ISP without any cost awareness.
+
+    This is the "naively combining IFP and ISP" configuration of the
+    Fig. 4 case study (Section 3.1): supported operations alternate between
+    the two resources, which adds inter-resource data movement and can hurt
+    I/O-intensive workloads.
+    """
+
+    name = "IFP+ISP"
+
+    def __init__(self) -> None:
+        self._toggle = False
+
+    def choose(self, instruction: VectorInstruction,
+               features: InstructionFeatures,
+               context: PolicyContext) -> Resource:
+        ifp_ok = features.feature(Resource.IFP).supported
+        if not ifp_ok:
+            return Resource.ISP
+        self._toggle = not self._toggle
+        return Resource.IFP if self._toggle else Resource.ISP
+
+
 #: Registry of instantiable policies keyed by their experiment-table names.
 POLICY_REGISTRY = {
     ConduitPolicy.name: ConduitPolicy,
@@ -189,11 +213,18 @@ POLICY_REGISTRY = {
     PuDOnlyPolicy.name: PuDOnlyPolicy,
     FlashCosmosPolicy.name: FlashCosmosPolicy,
     AresFlashPolicy.name: AresFlashPolicy,
+    NaiveIFPISPPolicy.name: NaiveIFPISPPolicy,
 }
 
 
 def make_policy(name: str) -> OffloadingPolicy:
-    """Instantiate a policy by its experiment-table name."""
+    """Instantiate a policy by its experiment-table name.
+
+    Raises a :class:`ValueError` naming the known policies, so a typo in a
+    figure harness or sweep spec fails with an actionable message.
+    """
     if name not in POLICY_REGISTRY:
-        raise SimulationError(f"unknown offloading policy '{name}'")
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise ValueError(f"unknown offloading policy {name!r}; known "
+                         f"policies: {known}")
     return POLICY_REGISTRY[name]()

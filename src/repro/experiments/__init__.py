@@ -7,10 +7,16 @@ from repro.experiments.fig8_tail_latency import run_tail_latency
 from repro.experiments.fig9_offload_decisions import run_offload_decisions
 from repro.experiments.fig10_timeline import phase_summary, run_timeline
 from repro.experiments.overheads import run_overheads
-from repro.experiments.report import format_table, nested_to_rows, to_json
-from repro.experiments.runner import (FIG5_POLICIES, FIG7_POLICIES,
-                                      ExperimentConfig, ExperimentRunner,
-                                      energy_table, experiment_platform_config,
+from repro.experiments.report import (format_table, nested_to_rows,
+                                      run_report, to_json)
+from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
+                                      FIG7_POLICIES, SWEEP_CACHE_ENV,
+                                      SWEEP_WORKERS_ENV, ExperimentConfig,
+                                      ExperimentRunner, RunSpec, SweepCache,
+                                      SweepStats, default_sweep_cache_dir,
+                                      energy_table, execute_run_spec,
+                                      experiment_platform_config,
+                                      resolve_sweep_workers, run_spec_key,
                                       speedup_table)
 from repro.experiments.table3_workloads import run_table3
 
@@ -18,7 +24,10 @@ __all__ = [
     "run_case_study", "run_motivation", "Fig7Results", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",
     "run_timeline", "run_overheads", "format_table", "nested_to_rows",
-    "to_json", "FIG5_POLICIES", "FIG7_POLICIES", "ExperimentConfig",
-    "ExperimentRunner", "energy_table", "experiment_platform_config",
-    "speedup_table", "run_table3",
+    "run_report", "to_json", "DEFAULT_SWEEP_CACHE_DIR", "FIG5_POLICIES",
+    "FIG7_POLICIES", "SWEEP_CACHE_ENV", "SWEEP_WORKERS_ENV",
+    "ExperimentConfig", "ExperimentRunner", "RunSpec", "SweepCache",
+    "SweepStats", "default_sweep_cache_dir", "energy_table",
+    "execute_run_spec", "experiment_platform_config",
+    "resolve_sweep_workers", "run_spec_key", "speedup_table", "run_table3",
 ]

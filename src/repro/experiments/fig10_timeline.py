@@ -16,7 +16,8 @@ from collections import Counter
 from typing import Dict, List, Optional
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+                                      default_sweep_cache_dir)
 from repro.workloads import LlamaInferenceWorkload
 
 TIMELINE_POLICIES = ("BW-Offloading", "DM-Offloading", "Conduit")
@@ -25,17 +26,19 @@ TIMELINE_INSTRUCTIONS = 12_000
 
 
 def run_timeline(config: Optional[ExperimentConfig] = None,
-                 instructions: int = TIMELINE_INSTRUCTIONS
+                 instructions: int = TIMELINE_INSTRUCTIONS, *,
+                 parallel: bool = True, workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None
                  ) -> Dict[str, List[Dict[str, object]]]:
     """Return per-policy instruction timelines (index, op, resource)."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
     workload = LlamaInferenceWorkload(scale=config.workload_scale)
-    timelines: Dict[str, List[Dict[str, object]]] = {}
-    for policy in TIMELINE_POLICIES:
-        result = runner.run(workload, policy)
-        timelines[policy] = result.timeline(limit=instructions)
-    return timelines
+    results = runner.sweep(TIMELINE_POLICIES, [workload], parallel=parallel,
+                           workers=workers, cache_dir=cache_dir)
+    return {policy: results[(workload.name, policy)].timeline(
+                limit=instructions)
+            for policy in TIMELINE_POLICIES}
 
 
 def phase_summary(timelines: Dict[str, List[Dict[str, object]]],
@@ -66,7 +69,7 @@ def phase_summary(timelines: Dict[str, List[Dict[str, object]]],
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    timelines = run_timeline(config)
+    timelines = run_timeline(config, cache_dir=default_sweep_cache_dir())
     rows = phase_summary(timelines)
     text = format_table(rows)
     print("Fig. 10 -- instruction-to-resource mapping phases "

@@ -7,18 +7,21 @@ only), in-flash processing (IFP only) and a *naive* IFP+ISP combination that
 alternates between the two without considering cost -- and report execution
 time normalized to OSP together with its breakdown (compute, host-SSD data
 movement, SSD-internal data movement, flash read).
+
+All four execution models resolve through the policy registry (OSP is the
+host-CPU baseline, IFP is Ares-Flash, the naive combination is the
+registered ``IFP+ISP`` policy), so the whole case study is a single
+parallel-shardable sweep.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.common import Resource
-from repro.core.compiler.ir import VectorInstruction
 from repro.core.metrics import ExecutionResult
-from repro.core.offload.features import InstructionFeatures
-from repro.core.offload.policies import (AresFlashPolicy, ISPOnlyPolicy,
-                                         OffloadingPolicy, PolicyContext)
+# Re-exported for backwards compatibility: the naive policy used to be
+# defined in this module before it joined the policy registry.
+from repro.core.offload.policies import NaiveIFPISPPolicy  # noqa: F401
 from repro.experiments.runner import ExperimentConfig, ExperimentRunner
 from repro.experiments.report import format_table
 from repro.workloads import (Heat3DWorkload, LLMTrainingWorkload, Workload,
@@ -33,28 +36,13 @@ CATEGORY_WORKLOADS = {
 
 EXECUTION_MODELS = ("OSP", "ISP", "IFP", "IFP+ISP")
 
-
-class NaiveIFPISPPolicy(OffloadingPolicy):
-    """Naively alternate between IFP and ISP without any cost awareness.
-
-    This is the "naively combining IFP and ISP" configuration of the case
-    study: supported operations alternate between the two resources, which
-    adds inter-resource data movement and can hurt I/O-intensive workloads.
-    """
-
-    name = "IFP+ISP"
-
-    def __init__(self) -> None:
-        self._toggle = False
-
-    def choose(self, instruction: VectorInstruction,
-               features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        ifp_ok = features.feature(Resource.IFP).supported
-        if not ifp_ok:
-            return Resource.ISP
-        self._toggle = not self._toggle
-        return Resource.IFP if self._toggle else Resource.ISP
+#: Execution model -> registered policy name.
+MODEL_POLICIES = {
+    "OSP": "CPU",
+    "ISP": "ISP",
+    "IFP": "Ares-Flash",
+    "IFP+ISP": "IFP+ISP",
+}
 
 
 def _breakdown_row(category: str, model: str, result: ExecutionResult,
@@ -73,29 +61,33 @@ def _breakdown_row(category: str, model: str, result: ExecutionResult,
     }
 
 
-def run_case_study(config: Optional[ExperimentConfig] = None
+def run_case_study(config: Optional[ExperimentConfig] = None, *,
+                   parallel: bool = True, workers: Optional[int] = None,
+                   cache_dir: Optional[str] = None
                    ) -> List[Dict[str, object]]:
     """Run the Fig. 4 case study; returns one row per (category, model)."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
+    workloads: List[Workload] = [
+        workload_cls(scale=config.workload_scale)
+        for workload_cls in CATEGORY_WORKLOADS.values()
+    ]
+    results = runner.sweep(tuple(MODEL_POLICIES.values()), workloads,
+                           parallel=parallel, workers=workers,
+                           cache_dir=cache_dir)
     rows: List[Dict[str, object]] = []
-    for category, workload_cls in CATEGORY_WORKLOADS.items():
-        workload: Workload = workload_cls(scale=config.workload_scale)
-        osp = runner.run(workload, "CPU")
-        results = {
-            "OSP": osp,
-            "ISP": runner.run_with_policy(workload, ISPOnlyPolicy()),
-            "IFP": runner.run_with_policy(workload, AresFlashPolicy()),
-            "IFP+ISP": runner.run_with_policy(workload, NaiveIFPISPPolicy()),
-        }
+    for category, workload in zip(CATEGORY_WORKLOADS, workloads):
+        osp = results[(workload.name, MODEL_POLICIES["OSP"])]
         for model in EXECUTION_MODELS:
-            rows.append(_breakdown_row(category, model, results[model],
+            result = results[(workload.name, MODEL_POLICIES[model])]
+            rows.append(_breakdown_row(category, model, result,
                                        osp.total_time_ns))
     return rows
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    rows = run_case_study(config)
+    from repro.experiments.runner import default_sweep_cache_dir
+    rows = run_case_study(config, cache_dir=default_sweep_cache_dir())
     table = format_table(rows)
     print("Fig. 4 -- execution time normalized to OSP (lower is better)")
     print(table)

@@ -18,33 +18,39 @@ from typing import Dict, Optional, Tuple
 from repro.core.metrics import ExecutionResult
 from repro.experiments.report import format_table, nested_to_rows
 from repro.experiments.runner import (FIG5_POLICIES, ExperimentConfig,
-                                      ExperimentRunner, speedup_table)
+                                      ExperimentRunner,
+                                      default_sweep_cache_dir, speedup_table)
 
 
-def run_motivation(config: Optional[ExperimentConfig] = None
-                   ) -> Dict[str, Dict[str, float]]:
-    """Run the Fig. 5 sweep; returns {workload: {policy: speedup}}."""
-    config = config or ExperimentConfig()
-    runner = ExperimentRunner(config)
-    results = runner.sweep(FIG5_POLICIES)
-    policies = [policy for policy in FIG5_POLICIES if policy != "CPU"]
-    return speedup_table(results, policies)
-
-
-def run_motivation_with_results(config: Optional[ExperimentConfig] = None
+def run_motivation_with_results(config: Optional[ExperimentConfig] = None, *,
+                                parallel: bool = True,
+                                workers: Optional[int] = None,
+                                cache_dir: Optional[str] = None
                                 ) -> Tuple[Dict[str, Dict[str, float]],
                                            Dict[Tuple[str, str],
                                                 ExecutionResult]]:
-    """Like :func:`run_motivation` but also returns the raw results."""
+    """Run the Fig. 5 sweep; returns the speedup table and raw results."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
-    results = runner.sweep(FIG5_POLICIES)
+    results = runner.sweep(FIG5_POLICIES, parallel=parallel, workers=workers,
+                           cache_dir=cache_dir)
     policies = [policy for policy in FIG5_POLICIES if policy != "CPU"]
     return speedup_table(results, policies), results
 
 
+def run_motivation(config: Optional[ExperimentConfig] = None, *,
+                   parallel: bool = True, workers: Optional[int] = None,
+                   cache_dir: Optional[str] = None
+                   ) -> Dict[str, Dict[str, float]]:
+    """Run the Fig. 5 sweep; returns {workload: {policy: speedup}}."""
+    table, _ = run_motivation_with_results(config, parallel=parallel,
+                                           workers=workers,
+                                           cache_dir=cache_dir)
+    return table
+
+
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    table = run_motivation(config)
+    table = run_motivation(config, cache_dir=default_sweep_cache_dir())
     text = format_table(nested_to_rows(table))
     print("Fig. 5 -- speedup over CPU (higher is better)")
     print(text)

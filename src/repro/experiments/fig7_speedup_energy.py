@@ -18,7 +18,8 @@ from typing import Dict, Optional, Tuple
 from repro.core.metrics import ExecutionResult
 from repro.experiments.report import format_table, nested_to_rows
 from repro.experiments.runner import (FIG7_POLICIES, ExperimentConfig,
-                                      ExperimentRunner, energy_table,
+                                      ExperimentRunner,
+                                      default_sweep_cache_dir, energy_table,
                                       speedup_table)
 
 
@@ -52,11 +53,14 @@ class Fig7Results:
         return sum(reductions) / len(reductions)
 
 
-def run_fig7(config: Optional[ExperimentConfig] = None) -> Fig7Results:
-    """Run the full Fig. 7 sweep."""
+def run_fig7(config: Optional[ExperimentConfig] = None, *,
+             parallel: bool = True, workers: Optional[int] = None,
+             cache_dir: Optional[str] = None) -> Fig7Results:
+    """Run the full Fig. 7 sweep (sharded over a process pool by default)."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
-    results = runner.sweep(FIG7_POLICIES)
+    results = runner.sweep(FIG7_POLICIES, parallel=parallel, workers=workers,
+                           cache_dir=cache_dir)
     policies = [policy for policy in FIG7_POLICIES if policy != "CPU"]
     return Fig7Results(
         speedups=speedup_table(results, policies),
@@ -66,7 +70,7 @@ def run_fig7(config: Optional[ExperimentConfig] = None) -> Fig7Results:
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    results = run_fig7(config)
+    results = run_fig7(config, cache_dir=default_sweep_cache_dir())
     speedup_text = format_table(nested_to_rows(results.speedups))
     print("Fig. 7(a) -- speedup over CPU (higher is better)")
     print(speedup_text)

@@ -12,23 +12,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+                                      default_sweep_cache_dir)
 from repro.workloads import Jacobi1DWorkload, LlamaInferenceWorkload
 
 TAIL_POLICIES = ("Ideal", "Conduit", "BW-Offloading", "DM-Offloading")
 TAIL_WORKLOADS = (LlamaInferenceWorkload, Jacobi1DWorkload)
 
 
-def run_tail_latency(config: Optional[ExperimentConfig] = None
+def run_tail_latency(config: Optional[ExperimentConfig] = None, *,
+                     parallel: bool = True, workers: Optional[int] = None,
+                     cache_dir: Optional[str] = None
                      ) -> List[Dict[str, object]]:
     """Return one row per (workload, policy) with p99 / p99.99 latencies."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
+    workloads = [workload_cls(scale=config.workload_scale)
+                 for workload_cls in TAIL_WORKLOADS]
+    results = runner.sweep(TAIL_POLICIES, workloads, parallel=parallel,
+                           workers=workers, cache_dir=cache_dir)
     rows: List[Dict[str, object]] = []
-    for workload_cls in TAIL_WORKLOADS:
-        workload = workload_cls(scale=config.workload_scale)
+    for workload in workloads:
         for policy in TAIL_POLICIES:
-            result = runner.run(workload, policy)
+            result = results[(workload.name, policy)]
             rows.append({
                 "workload": workload.name,
                 "policy": policy,
@@ -40,7 +46,7 @@ def run_tail_latency(config: Optional[ExperimentConfig] = None
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    rows = run_tail_latency(config)
+    rows = run_tail_latency(config, cache_dir=default_sweep_cache_dir())
     text = format_table(rows)
     print("Fig. 8 -- per-instruction tail latencies (lower is better)")
     print(text)

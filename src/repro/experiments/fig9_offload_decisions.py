@@ -14,21 +14,28 @@ from typing import Dict, List, Optional
 
 from repro.common import Resource
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+                                      default_sweep_cache_dir)
 
 DECISION_POLICIES = ("BW-Offloading", "DM-Offloading", "Conduit", "Ideal")
 
 
-def run_offload_decisions(config: Optional[ExperimentConfig] = None
+def run_offload_decisions(config: Optional[ExperimentConfig] = None, *,
+                          parallel: bool = True,
+                          workers: Optional[int] = None,
+                          cache_dir: Optional[str] = None
                           ) -> List[Dict[str, object]]:
     """One row per (workload, policy) with per-resource fractions."""
     config = config or ExperimentConfig()
     runner = ExperimentRunner(config)
+    workloads = config.workloads()
+    results = runner.sweep(DECISION_POLICIES, workloads, parallel=parallel,
+                           workers=workers, cache_dir=cache_dir)
     rows: List[Dict[str, object]] = []
-    for workload in config.workloads():
+    for workload in workloads:
         for policy in DECISION_POLICIES:
-            result = runner.run(workload, policy)
-            fractions = result.ssd_resource_fractions()
+            fractions = results[(workload.name,
+                                 policy)].ssd_resource_fractions()
             rows.append({
                 "workload": workload.name,
                 "policy": policy,
@@ -40,7 +47,7 @@ def run_offload_decisions(config: Optional[ExperimentConfig] = None
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
-    rows = run_offload_decisions(config)
+    rows = run_offload_decisions(config, cache_dir=default_sweep_cache_dir())
     text = format_table(rows)
     print("Fig. 9 -- fraction of instructions per computation resource")
     print(text)

@@ -12,19 +12,23 @@ from typing import Dict, Optional
 
 from repro.core.offload.transform import InstructionTransformer
 from repro.core.platform import SSDPlatform
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+                                      default_sweep_cache_dir)
 from repro.workloads import AESWorkload
 
 
-def run_overheads(config: Optional[ExperimentConfig] = None
-                  ) -> Dict[str, float]:
+def run_overheads(config: Optional[ExperimentConfig] = None, *,
+                  parallel: bool = True, workers: Optional[int] = None,
+                  cache_dir: Optional[str] = None) -> Dict[str, float]:
     """Measure Conduit's storage and runtime overheads."""
     config = config or ExperimentConfig()
     platform = SSDPlatform(config.platform)
     transformer = InstructionTransformer(platform)
     runner = ExperimentRunner(config)
     workload = AESWorkload(scale=config.workload_scale)
-    result = runner.run(workload, "Conduit")
+    result = runner.sweep(("Conduit",), [workload], parallel=parallel,
+                          workers=workers,
+                          cache_dir=cache_dir)[(workload.name, "Conduit")]
     return {
         "translation_table_bytes": float(transformer.table_bytes()),
         "coherence_metadata_bytes_per_page": 3.0,
@@ -37,7 +41,7 @@ def run_overheads(config: Optional[ExperimentConfig] = None
 
 
 def main(config: Optional[ExperimentConfig] = None) -> Dict[str, float]:
-    overheads = run_overheads(config)
+    overheads = run_overheads(config, cache_dir=default_sweep_cache_dir())
     for key, value in overheads.items():
         print(f"{key}: {value:.2f}")
     return overheads

@@ -1,7 +1,11 @@
-"""Plain-text and JSON reporting helpers for the experiment harnesses.
+"""Plain-text and JSON reporting helpers plus the full-report driver.
 
 The benchmark targets print the same rows/series the paper's figures show;
-these helpers keep that formatting in one place.
+these helpers keep that formatting in one place.  :func:`run_report`
+regenerates *every* figure/table of the evaluation in one call, sharing the
+parallel sweep engine and the on-disk sweep cache, so a full paper report
+costs one sharded sweep per figure the first time and almost nothing on
+repeats.
 """
 
 from __future__ import annotations
@@ -56,3 +60,70 @@ def to_json(data: object, path: Optional[str] = None, indent: int = 2) -> str:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
     return text
+
+
+def run_report(config=None, *, parallel: bool = True,
+               workers: Optional[int] = None,
+               cache_dir: Optional[str] = None) -> Dict[str, str]:
+    """Regenerate every figure/table of the evaluation section.
+
+    Returns ``{section: formatted table text}`` in the paper's order.  All
+    sections share the sweep engine knobs and a result cache -- a
+    per-call temporary one when ``cache_dir`` is ``None`` -- so the
+    (workload, policy) pairs common to several figures (e.g. the Fig. 5
+    baselines are a subset of Fig. 7's) are simulated once.
+    """
+    if cache_dir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory(prefix="sweep_cache_") as shared:
+            return run_report(config, parallel=parallel, workers=workers,
+                              cache_dir=shared)
+
+    # Imported here: the figure harnesses import this module's formatters.
+    from repro.experiments.fig4_case_study import run_case_study
+    from repro.experiments.fig5_motivation import run_motivation
+    from repro.experiments.fig7_speedup_energy import run_fig7
+    from repro.experiments.fig8_tail_latency import run_tail_latency
+    from repro.experiments.fig9_offload_decisions import run_offload_decisions
+    from repro.experiments.fig10_timeline import phase_summary, run_timeline
+    from repro.experiments.overheads import run_overheads
+    from repro.experiments.table3_workloads import run_table3
+
+    knobs = dict(parallel=parallel, workers=workers, cache_dir=cache_dir)
+    sections: Dict[str, str] = {}
+    sections["table3"] = format_table(
+        run_table3(config, parallel=parallel, workers=workers))
+    sections["fig4"] = format_table(run_case_study(config, **knobs))
+    sections["fig5"] = format_table(nested_to_rows(
+        run_motivation(config, **knobs)))
+    fig7 = run_fig7(config, **knobs)
+    sections["fig7a"] = format_table(nested_to_rows(fig7.speedups))
+    energy_rows = [
+        {"workload": workload, "policy": policy, **parts}
+        for workload, row in fig7.energy.items()
+        for policy, parts in row.items()
+    ]
+    sections["fig7b"] = format_table(energy_rows)
+    sections["fig8"] = format_table(run_tail_latency(config, **knobs))
+    sections["fig9"] = format_table(run_offload_decisions(config, **knobs))
+    sections["fig10"] = format_table(phase_summary(
+        run_timeline(config, **knobs)))
+    overheads = run_overheads(config, **knobs)
+    sections["overheads"] = format_table([
+        {"metric": key, "value": value} for key, value in overheads.items()
+    ])
+    return sections
+
+
+def main(config=None) -> Dict[str, str]:
+    from repro.experiments.runner import default_sweep_cache_dir
+    sections = run_report(config, cache_dir=default_sweep_cache_dir())
+    for name, text in sections.items():
+        print(f"== {name} ==")
+        print(text)
+        print()
+    return sections
+
+
+if __name__ == "__main__":
+    main()

@@ -11,12 +11,38 @@ platform.  This module centralizes:
 * construction and caching of the vectorized programs;
 * running one (workload, policy) pair on a fresh platform; and
 * assembling result grids keyed by workload and policy.
+
+Sweeps are embarrassingly parallel -- every (workload, policy) pair runs on
+a fresh platform -- so :meth:`ExperimentRunner.sweep` can shard the pairs
+over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* each pair becomes a pickle-able :class:`RunSpec` (workload name, scale,
+  policy name, platform and runtime configuration) executed by the
+  module-level :func:`execute_run_spec` worker;
+* shards are submitted and reassembled in deterministic (workload, policy)
+  order, so the result grid is bit-identical to a serial sweep and
+  independent of worker completion order;
+* an optional on-disk cache under :data:`DEFAULT_SWEEP_CACHE_DIR` keyed by
+  a stable hash of the :class:`RunSpec` (plus :data:`SWEEP_CACHE_VERSION`)
+  lets repeated figure-harness runs skip already-computed pairs.
+
+Worker count resolves as: explicit ``workers`` argument, then the
+``REPRO_SWEEP_WORKERS`` environment variable (CI sets ``1`` to force serial
+execution), then ``os.cpu_count()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 from repro.common import MIB, Resource
 from repro.core.compiler.ir import VectorProgram
@@ -24,7 +50,7 @@ from repro.core.metrics import ExecutionResult, geometric_mean, speedup
 from repro.core.offload.policies import OffloadingPolicy, make_policy
 from repro.core.platform import PlatformConfig, SSDPlatform
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
-from repro.workloads import Workload, default_workloads
+from repro.workloads import Workload, default_workloads, workload_by_name
 
 #: Names of the host (OSP) baselines; they run through :class:`HostRuntime`.
 HOST_POLICIES = ("CPU", "GPU")
@@ -38,13 +64,31 @@ FIG7_POLICIES = ("CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos",
 FIG5_POLICIES = ("CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos",
                  "Ares-Flash", "BW-Offloading", "DM-Offloading", "Ideal")
 
+#: Environment variable overriding the sweep worker count (``1`` forces
+#: serial in-process execution; CI sets this for reproducible timings).
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment variable overriding the on-disk sweep-cache directory.
+#: An empty value or ``off`` disables the cache.
+SWEEP_CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: Default location of the on-disk sweep result cache.
+DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
+
+#: Bump whenever simulation semantics change in a way that is not captured
+#: by the configuration objects, so stale cache entries are never reused.
+SWEEP_CACHE_VERSION = 1
+
 
 def experiment_platform_config() -> PlatformConfig:
     """The platform configuration used by the experiment harnesses.
 
     Capacity windows are scaled down together with the workload footprints
-    so the paper's regime (dataset ≫ SSD DRAM, dataset ≫ host cache) holds
-    while a full sweep stays fast.
+    so the paper's regime (dataset >> SSD DRAM, dataset >> host cache) holds
+    while a full sweep stays fast.  This is the single source of truth: the
+    figure harnesses, the golden tests and ``benchmarks/conftest.py`` all
+    build their :class:`ExperimentConfig` from this factory (via the
+    ``platform`` field default), so they cannot drift apart.
     """
     return PlatformConfig(
         dram_compute_window_bytes=2 * MIB,
@@ -66,35 +110,229 @@ class ExperimentConfig:
         return default_workloads(scale=self.workload_scale)
 
 
+# ------------------------------------------------------------------------
+# Run specifications (the parallel unit of work)
+# ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to run one (workload, policy) pair anywhere.
+
+    The spec is a pure-data, pickle-able value: the workload is referenced
+    by its registry name plus scale (workload generators are deterministic
+    functions of the scale, see :mod:`repro.workloads`), and the platform /
+    runtime configurations are frozen dataclass trees.  Two equal specs
+    therefore always produce bit-identical :class:`ExecutionResult`\\ s,
+    which is what makes both process-pool execution and on-disk caching
+    safe.
+    """
+
+    workload: str
+    scale: float
+    policy: str
+    platform: PlatformConfig = field(
+        default_factory=experiment_platform_config)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+
+def _canonical(value: object) -> object:
+    """Convert a config value into a JSON-stable representation."""
+    if is_dataclass(value) and not isinstance(value, type):
+        encoded: Dict[str, object] = {
+            "__dataclass__": type(value).__qualname__}
+        for spec_field in fields(value):
+            encoded[spec_field.name] = _canonical(getattr(value,
+                                                          spec_field.name))
+        return encoded
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, float):
+        # repr() keeps full precision; JSON would round-trip anyway, but be
+        # explicit so the key is stable across json library versions.
+        return repr(value)
+    return value
+
+
+def run_spec_key(spec: RunSpec) -> str:
+    """Stable content hash of a :class:`RunSpec` (plus cache version).
+
+    The key covers every code-relevant knob: workload identity and scale,
+    policy name, and the full platform/runtime configuration trees.  It is
+    what shards the sweep deterministically and keys the on-disk cache.
+    """
+    payload = {"version": SWEEP_CACHE_VERSION, "spec": _canonical(spec)}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _compile_program(workload: Workload) -> VectorProgram:
+    program, _ = workload.vector_program()
+    return program
+
+
+#: Per-process compiled-program cache used by the pool workers.  Keyed by
+#: (workload name, scale); a long-lived worker compiles each workload once
+#: even when it executes many policies for it.
+_WORKER_PROGRAMS: Dict[Tuple[str, float], VectorProgram] = {}
+
+
+def _execute(program: VectorProgram, spec: RunSpec) -> ExecutionResult:
+    """Run one compiled program under one named policy on a fresh platform.
+
+    Shared by the serial path and the pool workers so both execute exactly
+    the same code.
+    """
+    platform = SSDPlatform(spec.platform)
+    if spec.policy in HOST_POLICIES:
+        device = (Resource.HOST_CPU if spec.policy == "CPU"
+                  else Resource.HOST_GPU)
+        runtime = HostRuntime(platform, spec.runtime)
+        return runtime.execute(program, device, spec.workload)
+    runtime = ConduitRuntime(platform, spec.runtime)
+    return runtime.execute(program, make_policy(spec.policy), spec.workload)
+
+
+def execute_run_spec(spec: RunSpec) -> ExecutionResult:
+    """Process-pool worker: materialize and execute one :class:`RunSpec`."""
+    cache_key = (spec.workload, spec.scale)
+    program = _WORKER_PROGRAMS.get(cache_key)
+    if program is None:
+        program = _compile_program(workload_by_name(spec.workload,
+                                                    scale=spec.scale))
+        _WORKER_PROGRAMS[cache_key] = program
+    return _execute(program, spec)
+
+
+def resolve_sweep_workers(workers: Optional[int] = None) -> int:
+    """Resolve the sweep worker count.
+
+    Priority: explicit argument, then :data:`SWEEP_WORKERS_ENV`, then
+    ``os.cpu_count()``.  The result is always >= 1; ``1`` means serial
+    in-process execution (no process pool is created).
+    """
+    if workers is None:
+        env = os.environ.get(SWEEP_WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{SWEEP_WORKERS_ENV} must be an integer, got {env!r}")
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"sweep worker count must be >= 1, got {workers}")
+    return workers
+
+
+def default_sweep_cache_dir() -> Optional[str]:
+    """The cache directory figure-harness CLIs use.
+
+    Honors :data:`SWEEP_CACHE_ENV`: unset picks
+    :data:`DEFAULT_SWEEP_CACHE_DIR`, an empty value / ``0`` / ``off``
+    disables caching, anything else names the directory.
+    """
+    value = os.environ.get(SWEEP_CACHE_ENV)
+    if value is None:
+        return DEFAULT_SWEEP_CACHE_DIR
+    value = value.strip()
+    if value.lower() in ("", "0", "off", "none", "false"):
+        return None
+    return value
+
+
+class SweepCache:
+    """Pickle-per-result on-disk cache keyed by :func:`run_spec_key`.
+
+    Corrupt, unreadable or version-mismatched entries are treated as
+    misses; writes go through a temporary file plus :func:`os.replace` so
+    concurrent sweeps never observe a torn entry.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def load(self, spec: RunSpec) -> Optional[ExecutionResult]:
+        try:
+            with open(self._path(run_spec_key(spec)), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(result, ExecutionResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: RunSpec, result: ExecutionResult) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(dir=self.directory,
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(result, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._path(run_spec_key(spec)))
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of the last :meth:`ExperimentRunner.sweep` call."""
+
+    pairs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    parallel: bool = False
+
+
 class ExperimentRunner:
     """Runs (workload, policy) pairs and caches vectorized programs."""
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
         self.config = config or ExperimentConfig()
         self._programs: Dict[str, VectorProgram] = {}
+        #: Stats of the most recent sweep (pairs, cache hits, workers).
+        self.last_sweep_stats = SweepStats()
 
     # -- Program construction ------------------------------------------------------
 
     def program_for(self, workload: Workload) -> VectorProgram:
         if workload.name not in self._programs:
-            program, _ = workload.vector_program()
-            self._programs[workload.name] = program
+            self._programs[workload.name] = _compile_program(workload)
         return self._programs[workload.name]
+
+    # -- Run specifications --------------------------------------------------------
+
+    def spec_for(self, workload: Workload, policy_name: str) -> RunSpec:
+        """The :class:`RunSpec` describing one (workload, policy) pair."""
+        return RunSpec(workload=workload.name, scale=workload.scale,
+                       policy=policy_name, platform=self.config.platform,
+                       runtime=self.config.runtime)
 
     # -- Single runs ------------------------------------------------------------------
 
     def run(self, workload: Workload, policy_name: str) -> ExecutionResult:
         """Run one workload under one policy on a fresh platform."""
-        program = self.program_for(workload)
-        platform = SSDPlatform(self.config.platform)
-        if policy_name in HOST_POLICIES:
-            device = (Resource.HOST_CPU if policy_name == "CPU"
-                      else Resource.HOST_GPU)
-            runtime = HostRuntime(platform, self.config.runtime)
-            return runtime.execute(program, device, workload.name)
-        runtime = ConduitRuntime(platform, self.config.runtime)
-        return runtime.execute(program, make_policy(policy_name),
-                               workload.name)
+        return _execute(self.program_for(workload),
+                        self.spec_for(workload, policy_name))
 
     def run_with_policy(self, workload: Workload,
                         policy: OffloadingPolicy) -> ExecutionResult:
@@ -107,17 +345,94 @@ class ExperimentRunner:
     # -- Sweeps -----------------------------------------------------------------------
 
     def sweep(self, policies: Sequence[str],
-              workloads: Optional[Sequence[Workload]] = None
+              workloads: Optional[Sequence[Workload]] = None, *,
+              parallel: bool = False, workers: Optional[int] = None,
+              cache_dir: Optional[str] = None
               ) -> Dict[Tuple[str, str], ExecutionResult]:
-        """Run every (workload, policy) pair; keys are (workload, policy)."""
+        """Run every (workload, policy) pair; keys are (workload, policy).
+
+        The result grid is always assembled in workload-major spec order,
+        so serial and parallel sweeps return identical dictionaries (same
+        keys, same order, bit-identical results).
+
+        :param parallel: shard the pairs over a process pool.  With one
+            resolved worker the sweep stays in-process (but still runs
+            through the shared :func:`execute_run_spec` path).
+        :param workers: worker count; ``None`` defers to
+            :func:`resolve_sweep_workers` (``REPRO_SWEEP_WORKERS`` env
+            override, then ``os.cpu_count()``).
+        :param cache_dir: directory of the on-disk result cache; ``None``
+            disables caching.
+        """
         workloads = list(workloads) if workloads is not None else \
             self.config.workloads()
-        results: Dict[Tuple[str, str], ExecutionResult] = {}
+        specs = [self.spec_for(workload, policy_name)
+                 for workload in workloads for policy_name in policies]
+        stats = SweepStats(pairs=len(specs), parallel=parallel)
+        cache = SweepCache(cache_dir) if cache_dir else None
+        if parallel or cache:
+            # Cache keys identify workloads by (name, scale), so the cache
+            # needs the same name->class reconstructibility guarantee as
+            # the pool workers: an unregistered same-named workload would
+            # otherwise poison (or wrongly hit) the shared entries.
+            self._verify_parallelizable(workloads)
+
+        slots: List[Optional[ExecutionResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = cache.load(spec) if cache else None
+            if cached is not None:
+                slots[index] = cached
+            else:
+                pending.append(index)
+        stats.cache_hits = len(specs) - len(pending)
+        stats.executed = len(pending)
+
+        if pending:
+            if parallel:
+                stats.workers = min(resolve_sweep_workers(workers),
+                                    len(pending))
+            else:
+                stats.workers = 1
+            pending_specs = [specs[index] for index in pending]
+            if stats.workers > 1:
+                # ``Executor.map`` yields results in submission order, so
+                # the grid below is independent of completion order.
+                with ProcessPoolExecutor(
+                        max_workers=stats.workers) as pool:
+                    executed = list(pool.map(execute_run_spec,
+                                             pending_specs, chunksize=1))
+            elif parallel:
+                executed = [execute_run_spec(spec)
+                            for spec in pending_specs]
+            else:
+                # Classic serial path: reuse the parent's program cache.
+                by_name = {workload.name: workload for workload in workloads}
+                executed = [
+                    _execute(self.program_for(by_name[spec.workload]), spec)
+                    for spec in pending_specs
+                ]
+            for index, result in zip(pending, executed):
+                slots[index] = result
+                if cache:
+                    cache.store(specs[index], result)
+
+        self.last_sweep_stats = stats
+        return {(spec.workload, spec.policy): result
+                for spec, result in zip(specs, slots)}
+
+    @staticmethod
+    def _verify_parallelizable(workloads: Iterable[Workload]) -> None:
+        """Parallel sweeps rebuild workloads by name in the workers."""
         for workload in workloads:
-            for policy_name in policies:
-                results[(workload.name, policy_name)] = self.run(workload,
-                                                                 policy_name)
-        return results
+            rebuilt = type(workload_by_name(workload.name,
+                                            scale=workload.scale))
+            if rebuilt is not type(workload):
+                raise ValueError(
+                    f"workload {workload.name!r} is not reconstructible "
+                    f"from the workload registry (got {rebuilt.__name__}, "
+                    f"expected {type(workload).__name__}); run this sweep "
+                    "serially or register the workload class")
 
 
 def speedup_table(results: Dict[Tuple[str, str], ExecutionResult],

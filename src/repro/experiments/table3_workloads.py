@@ -4,21 +4,39 @@ Regenerates the workload characterization table: vectorizable code
 percentage, average reuse and low/medium/high latency operation mix for the
 six workloads, measured from the output of Conduit's compile-time pass and
 reported next to the paper's values.
+
+Characterization is compile-only (no simulation), but each workload's
+compile + measurement is independent, so the table shards over the same
+process pool as the simulation sweeps; rows come back in workload order
+regardless of completion order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig
-from repro.workloads import characterization_table
+from repro.experiments.runner import ExperimentConfig, resolve_sweep_workers
+from repro.workloads import Workload, characterization_table
 
 
-def run_table3(config: Optional[ExperimentConfig] = None
+def _characterization_row(workload: Workload) -> Dict[str, object]:
+    """One Table 3 row (a picklable top-level shard for the pool)."""
+    return characterization_table([workload])[0]
+
+
+def run_table3(config: Optional[ExperimentConfig] = None, *,
+               parallel: bool = True, workers: Optional[int] = None
                ) -> List[Dict[str, object]]:
     config = config or ExperimentConfig()
-    return characterization_table(config.workloads())
+    workloads = config.workloads()
+    count = min(resolve_sweep_workers(workers), len(workloads)) \
+        if parallel else 1
+    if count > 1:
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(_characterization_row, workloads))
+    return [_characterization_row(workload) for workload in workloads]
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:

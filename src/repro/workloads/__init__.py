@@ -24,9 +24,27 @@ ALL_WORKLOADS = (
 )
 
 
+#: Registry mapping each workload's figure/table name to its class, so a
+#: (name, scale) pair fully identifies a workload.  Parallel sweep workers
+#: rebuild workloads from this registry instead of pickling instances, and
+#: the generators are deterministic functions of the scale, so rebuilt
+#: workloads produce bit-identical programs.
+WORKLOAD_REGISTRY = {workload.name: workload for workload in ALL_WORKLOADS}
+
+
 def default_workloads(scale: float = 1.0):
     """Instantiate all six workloads at the given scale."""
     return [workload(scale=scale) for workload in ALL_WORKLOADS]
+
+
+def workload_by_name(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a registered workload by its figure/table name."""
+    try:
+        workload_cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOAD_REGISTRY))
+        raise ValueError(f"unknown workload {name!r}; known: {known}")
+    return workload_cls(scale=scale)
 
 
 __all__ = [
@@ -34,5 +52,6 @@ __all__ = [
     "WorkloadCharacteristics", "characterization_table", "characterize",
     "measure_reuse", "operation_mix", "Heat3DWorkload", "Jacobi1DWorkload",
     "LlamaInferenceWorkload", "LLMTrainingWorkload", "XORFilterWorkload",
-    "ALL_WORKLOADS", "default_workloads",
+    "ALL_WORKLOADS", "WORKLOAD_REGISTRY", "default_workloads",
+    "workload_by_name",
 ]
