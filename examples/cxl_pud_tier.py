@@ -1,0 +1,45 @@
+"""Scenario: add a CXL-attached PuD tier -- via config only.
+
+``PlatformConfig(cxl_pud=CXLPuDConfig())`` registers a second PuD backend
+(``cxl-pud``) with its own DRAM device, bank pool, bbop latency/energy
+point and CXL link round-trip, homed in host memory.  The cost function
+immediately weighs it against the in-SSD resources: once the in-SSD PuD
+queue backs up under compute-heavy phases, the argmin spills work to the
+CXL tier -- without a single edit to the offloader or cost model.
+
+Run with:  python examples/cxl_pud_tier.py
+"""
+
+from repro import (CXLPuDConfig, ConduitPolicy, ConduitRuntime,
+                   PlatformConfig, SSDPlatform)
+from repro.common import MIB
+from repro.workloads import LlamaInferenceWorkload
+
+
+def run(cxl_pud):
+    platform = SSDPlatform(PlatformConfig(
+        dram_compute_window_bytes=2 * MIB, host_cache_bytes=2 * MIB,
+        cxl_pud=cxl_pud))
+    print(f"\nbackends = {', '.join(platform.backends.roster())}")
+    workload = LlamaInferenceWorkload(scale=0.1)
+    program, _ = workload.vector_program()
+    result = ConduitRuntime(platform).execute(program, ConduitPolicy(),
+                                              workload.name)
+    mix = {str(resource.value): f"{fraction:.1%}"
+           for resource, fraction in result.ssd_resource_fractions().items()
+           if fraction > 0}
+    print(f"  total time: {result.total_time_ns / 1e6:.3f} ms")
+    print(f"  decision mix: {mix}")
+    return result
+
+
+def main() -> None:
+    base = run(None)
+    grown = run(CXLPuDConfig())
+    delta = base.total_time_ns / grown.total_time_ns
+    print(f"\nCXL-PuD tier vs default roster: {delta:.3f}x "
+          f"({'faster' if delta > 1 else 'slower'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,11 @@ def main() -> None:
 
     # 4. Run under Conduit's runtime offloader.
     conduit_platform = SSDPlatform(platform_config)
+    print("\nDiscovered compute backends:",
+          ", ".join(conduit_platform.backends.roster()))
+    print("Offload candidates:",
+          ", ".join(str(r.value)
+                    for r in conduit_platform.offload_candidates()))
     conduit_result = ConduitRuntime(conduit_platform).execute(
         vector_program, ConduitPolicy(), "quickstart")
     print(f"\nConduit: {conduit_result.total_time_ns / 1e6:.3f} ms, "

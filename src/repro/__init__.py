@@ -14,8 +14,9 @@ The public API re-exports the pieces a downstream user needs to:
 * inspect results (:class:`repro.ExecutionResult`).
 """
 
-from repro.common import (DataLocation, LatencyClass, OpClass, OpType,
-                          Resource, SSD_RESOURCES)
+from repro.common import (BackendId, DataLocation, LatencyClass, OpClass,
+                          OpType, Resource, SSD_RESOURCES)
+from repro.core.backends import BackendRegistry, ComputeBackend
 from repro.core.compiler import (AutoVectorizer, Loop, ScalarProgram,
                                  ScalarSection, ScalarStatement,
                                  VectorizerConfig, VectorProgram)
@@ -23,17 +24,20 @@ from repro.core.metrics import (ExecutionResult, energy_reduction,
                                 geometric_mean, speedup)
 from repro.core.offload import (ConduitPolicy, OffloadingPolicy,
                                 POLICY_REGISTRY, make_policy)
-from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.core.platform import (PlatformConfig, SSDPlatform,
+                                 backend_roster)
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
+from repro.dram.cxl import CXLPuDConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "DataLocation", "LatencyClass", "OpClass", "OpType", "Resource",
-    "SSD_RESOURCES", "AutoVectorizer", "Loop", "ScalarProgram",
+    "BackendId", "DataLocation", "LatencyClass", "OpClass", "OpType",
+    "Resource", "SSD_RESOURCES", "BackendRegistry", "ComputeBackend",
+    "AutoVectorizer", "Loop", "ScalarProgram",
     "ScalarSection", "ScalarStatement", "VectorizerConfig", "VectorProgram",
     "ExecutionResult", "energy_reduction", "geometric_mean", "speedup",
     "ConduitPolicy", "OffloadingPolicy", "POLICY_REGISTRY", "make_policy",
-    "PlatformConfig", "SSDPlatform", "ConduitRuntime", "HostRuntime",
-    "RuntimeConfig", "__version__",
+    "PlatformConfig", "SSDPlatform", "backend_roster", "ConduitRuntime",
+    "HostRuntime", "RuntimeConfig", "CXLPuDConfig", "__version__",
 ]

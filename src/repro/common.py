@@ -19,7 +19,9 @@ The vocabulary follows the paper:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import typing
 
 # --------------------------------------------------------------------------
 # Unit constants.  All simulator latencies are expressed in nanoseconds and
@@ -189,7 +191,16 @@ _MEDIUM_LATENCY_OPS = frozenset(
 
 
 class Resource(enum.Enum):
-    """Computation resources that may execute a vector instruction."""
+    """Canonical computation-resource families.
+
+    Every compute backend belongs to one of these families (its ``kind``):
+    the family determines the native ISA a backend speaks, the policies that
+    single it out (e.g. the PuD-SSD-only baseline), and the Fig. 9 grouping.
+    The *identity* of a backend is either a member of this enum (the default
+    one-backend-per-family roster) or a :class:`BackendId` for dynamically
+    registered backends such as per-core ISP queues or a CXL-attached PuD
+    tier.
+    """
 
     ISP = "isp"
     PUD = "pud-ssd"
@@ -201,9 +212,49 @@ class Resource(enum.Enum):
     def is_in_ssd(self) -> bool:
         return self in (Resource.ISP, Resource.PUD, Resource.IFP)
 
+    @property
+    def kind(self) -> "Resource":
+        """The resource family (a canonical enum member is its own kind)."""
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendId:
+    """Identity of a dynamically registered compute backend.
+
+    Quacks like a :class:`Resource` member where the metrics and energy
+    layers need it (``value`` for report keys, ``kind`` / ``is_in_ssd`` for
+    grouping), so a registry-grown platform flows through the offload stack
+    without any enum surgery.
+    """
+
+    value: str
+    kind: Resource
+
+    @property
+    def is_in_ssd(self) -> bool:
+        """Whether the backend counts toward the SSD offloader's mix.
+
+        Follows the resource family: a backend of an offloadable family
+        (e.g. the CXL-attached PuD tier, physically host-side) is part of
+        the offloader's decision distribution even though its operands
+        live in host memory -- ``home_location`` is the physical truth.
+        """
+        return self.kind.is_in_ssd
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Anything that can identify a compute backend: a canonical enum member or
+#: a dynamically minted :class:`BackendId`.
+ResourceLike = typing.Union[Resource, BackendId]
+
 
 #: The three SSD-internal computation resources in the order the paper lists
-#: them (ISP, PuD-SSD, IFP).
+#: them (ISP, PuD-SSD, IFP).  This is the *default* backend roster; the
+#: offload stack itself discovers candidates from the platform's
+#: :class:`~repro.core.backends.BackendRegistry` rather than this constant.
 SSD_RESOURCES = (Resource.ISP, Resource.PUD, Resource.IFP)
 
 

@@ -1,5 +1,6 @@
 """Conduit core: compiler, offloading runtime, coherence, platform, metrics."""
 
+from repro.core.backends import BackendRegistry, ComputeBackend
 from repro.core.coherence import (CoherenceDirectory, CoherenceEntry,
                                   CoherencePolicy, PageCoherenceState,
                                   SyncAction)
@@ -8,10 +9,11 @@ from repro.core.metrics import (ExecutionBreakdown, ExecutionResult,
                                 InstructionRecord, energy_reduction,
                                 geometric_mean, speedup)
 from repro.core.platform import (DataMovementStats, PlatformConfig,
-                                 SSDPlatform)
+                                 SSDPlatform, backend_roster)
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
 
 __all__ = [
+    "BackendRegistry", "ComputeBackend", "backend_roster",
     "CoherenceDirectory", "CoherenceEntry", "CoherencePolicy",
     "PageCoherenceState", "SyncAction", "ArrayLayout", "ArrayPlacement",
     "ExecutionBreakdown", "ExecutionResult", "InstructionRecord",

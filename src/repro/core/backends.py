@@ -1,0 +1,172 @@
+"""The pluggable compute-backend layer.
+
+The paper's cost function (Eqns. 1-2) argmins over the SSD's computation
+resources.  Rather than baking the trio (ISP, PuD-SSD, IFP) into every
+layer, the platform builds a :class:`BackendRegistry` of
+:class:`ComputeBackend` objects from its configuration, and the whole
+offload stack -- feature collection, cost model, policies, transformation,
+dispatch -- discovers its candidates from the registry.  Adding a compute
+tier (per-core ISP queues, a CXL-attached PuD device, ...) is then a
+configuration entry plus one adapter class next to its device model; the
+offloader and cost model are untouched.
+
+A backend bundles everything the runtime offloader asks about one
+computation resource:
+
+* ``resource`` -- its identity (a :class:`~repro.common.Resource` member for
+  the default roster, a :class:`~repro.common.BackendId` for dynamically
+  registered backends);
+* ``kind`` -- the canonical resource family, which selects the native ISA
+  and the Fig. 9 grouping;
+* ``home_location`` -- where operands must reside for it to compute
+  (drives the data-movement feature and the platform's movement engine);
+* ``supports`` / ``operation_latency`` / ``operation_energy`` -- the
+  precomputed per-op capability/latency/energy points (Section 4.5);
+* ``execute`` -- actually run an operation, reserving the backend's
+  execution sub-units so contention emerges naturally;
+* ``utilization`` -- the bandwidth-utilization snapshot consumed by the
+  BW-Offloading baseline;
+* ``queue`` -- the backend's execution queue (Section 5.1, "NDP
+  Extensions"), whose running latency counter is the queueing-delay
+  feature.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common import (DataLocation, OpType, Resource, ResourceLike,
+                          SimulationError)
+from repro.ssd.queues import ExecutionQueue
+
+
+class ComputeBackend(abc.ABC):
+    """One computation resource the SSD offloader can target.
+
+    Concrete backends live next to the device model they wrap
+    (:mod:`repro.isp.core`, :mod:`repro.dram.pud`, :mod:`repro.dram.cxl`,
+    :mod:`repro.ifp.unit`, :mod:`repro.host.cpu`, :mod:`repro.host.gpu`).
+    """
+
+    #: Whether the SSD offloader may pick this backend (Eqn. 2 candidates).
+    #: Host engines are modelled as backends too -- the OSP baselines run
+    #: through the same interface -- but are not offload candidates.
+    offloadable: bool = True
+
+    def __init__(self, resource: ResourceLike, home_location: DataLocation,
+                 queue_parallelism: int = 1) -> None:
+        self.resource = resource
+        self.home_location = home_location
+        self.queue = ExecutionQueue(resource, queue_parallelism)
+
+    @property
+    def kind(self) -> Resource:
+        """Canonical resource family of this backend."""
+        return self.resource.kind
+
+    @property
+    def native_chunk_bytes(self) -> Optional[int]:
+        """Largest chunk one native operation covers (``None``: page-sized).
+
+        Used by the instruction transformer to split the compile-time
+        vector width into resource-sized sub-operations.
+        """
+        return None
+
+    # -- Capability / estimation -------------------------------------------
+
+    @abc.abstractmethod
+    def supports(self, op: OpType) -> bool:
+        """Whether this backend has a native implementation of ``op``."""
+
+    @abc.abstractmethod
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        """Uncontended latency of ``op`` over ``size_bytes`` (ns)."""
+
+    @abc.abstractmethod
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        """Energy of ``op`` over ``size_bytes`` (nJ)."""
+
+    # -- Execution ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int):
+        """Execute ``op``, reserving sub-units; returns a timing object
+        exposing ``latency_ns``."""
+
+    # -- Utilization snapshot (BW-Offloading input) --------------------------
+
+    @abc.abstractmethod
+    def utilization(self, elapsed: float) -> float:
+        """Approximate utilization of this backend's data path in [0, 1]."""
+
+
+class BackendRegistry:
+    """Ordered registry of the platform's compute backends.
+
+    Registration order is semantically meaningful: it defines the stable
+    tie-break order of the cost function's argmin and the candidate
+    iteration order of every policy, independent of enum definition order.
+    """
+
+    def __init__(self) -> None:
+        self._backends: "Dict[ResourceLike, ComputeBackend]" = {}
+
+    # -- Registration --------------------------------------------------------
+
+    def register(self, backend: ComputeBackend) -> ComputeBackend:
+        key = backend.resource
+        if key in self._backends:
+            raise SimulationError(
+                f"compute backend {key!r} is already registered")
+        self._backends[key] = backend
+        return backend
+
+    # -- Lookup --------------------------------------------------------------
+
+    def __getitem__(self, resource: ResourceLike) -> ComputeBackend:
+        try:
+            return self._backends[resource]
+        except KeyError:
+            known = ", ".join(str(key) for key in self._backends)
+            raise SimulationError(
+                f"no compute backend registered for {resource!r}; "
+                f"registered backends: {known}") from None
+
+    def __contains__(self, resource: ResourceLike) -> bool:
+        return resource in self._backends
+
+    def __iter__(self) -> Iterator[ComputeBackend]:
+        return iter(self._backends.values())
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+    def ids(self) -> Tuple[ResourceLike, ...]:
+        """All backend identities, in registration order."""
+        return tuple(self._backends)
+
+    def roster(self) -> Tuple[str, ...]:
+        """Human-readable backend identities, in registration order."""
+        return tuple(key.value for key in self._backends)
+
+    # -- Candidate discovery -------------------------------------------------
+
+    def offload_candidates(self) -> Tuple[ResourceLike, ...]:
+        """Identities of the backends the SSD offloader may target."""
+        return tuple(key for key, backend in self._backends.items()
+                     if backend.offloadable)
+
+    def backends_of_kind(self, kind: Resource) -> List[ComputeBackend]:
+        """All registered backends of one resource family."""
+        return [backend for backend in self._backends.values()
+                if backend.kind is kind]
+
+    def queues(self) -> "Dict[ResourceLike, ExecutionQueue]":
+        """Backend identity -> execution queue, in registration order."""
+        return {key: backend.queue
+                for key, backend in self._backends.items()}

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.common import OpType, Resource
+from repro.common import OpType, Resource, ResourceLike, SSD_RESOURCES
 from repro.energy.model import EnergyBreakdown
 
 
@@ -24,7 +24,7 @@ class InstructionRecord:
 
     uid: int
     op: OpType
-    resource: Resource
+    resource: ResourceLike
     dispatch_ns: float
     ready_ns: float
     start_ns: float
@@ -90,25 +90,46 @@ class ExecutionResult:
     def total_energy_nj(self) -> float:
         return self.energy.total_nj
 
-    def resource_fractions(self) -> Dict[Resource, float]:
-        """Fraction of instructions executed on each resource (Fig. 9)."""
+    def resource_fractions(self) -> Dict[ResourceLike, float]:
+        """Fraction of instructions executed on each backend (Fig. 9)."""
         if not self.records:
             return {}
-        counts: Dict[Resource, int] = {}
+        counts: Dict[ResourceLike, int] = {}
         for record in self.records:
             counts[record.resource] = counts.get(record.resource, 0) + 1
         total = len(self.records)
         return {resource: count / total for resource, count in counts.items()}
 
-    def ssd_resource_fractions(self) -> Dict[Resource, float]:
-        """Fractions restricted to the three SSD resources (Fig. 9)."""
+    def ssd_resource_fractions(self) -> Dict[ResourceLike, float]:
+        """Fractions restricted to the in-SSD backends (Fig. 9).
+
+        The canonical trio is always present (zero when unused); backends
+        a registry-grown platform added (per-core ISP queues, extra PuD
+        tiers) appear under their own identities.
+        """
         fractions = self.resource_fractions()
-        ssd_only = {r: fractions.get(r, 0.0)
-                    for r in (Resource.ISP, Resource.PUD, Resource.IFP)}
+        ssd_only: Dict[ResourceLike, float] = {
+            r: fractions.get(r, 0.0) for r in SSD_RESOURCES}
+        for resource, value in fractions.items():
+            if resource.is_in_ssd and resource not in ssd_only:
+                ssd_only[resource] = value
         total = sum(ssd_only.values())
         if total <= 0:
             return ssd_only
         return {r: value / total for r, value in ssd_only.items()}
+
+    def kind_fractions(self) -> Dict[Resource, float]:
+        """In-SSD fractions aggregated by resource family.
+
+        Folds registry-grown backends into their canonical family (all
+        ``isp[i]`` cores count as ISP, every PuD tier as PuD-SSD), which
+        is what roster ablations compare across platform shapes.
+        """
+        fractions = self.ssd_resource_fractions()
+        by_kind: Dict[Resource, float] = {r: 0.0 for r in SSD_RESOURCES}
+        for resource, value in fractions.items():
+            by_kind[resource.kind] = by_kind.get(resource.kind, 0.0) + value
+        return by_kind
 
     def latency_percentile(self, percentile: float) -> float:
         """Per-instruction latency percentile in nanoseconds (Fig. 8)."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.common import Resource, SSD_RESOURCES, SimulationError
+from repro.common import ResourceLike, SimulationError
 from repro.core.offload.features import InstructionFeatures, ResourceFeatures
 
 
@@ -40,9 +40,9 @@ class CostModelConfig:
 
 @dataclass
 class CostEstimate:
-    """Per-resource cost of one instruction."""
+    """Per-backend cost of one instruction."""
 
-    resource: Resource
+    resource: ResourceLike
     total_latency_ns: float
     compute_ns: float
     data_movement_ns: float
@@ -81,13 +81,20 @@ class CostFunction:
                             supported=features.supported)
 
     def estimate_all(self, features: InstructionFeatures
-                     ) -> Dict[Resource, CostEstimate]:
+                     ) -> Dict[ResourceLike, CostEstimate]:
+        """Equation 1 for every offload candidate the platform registered."""
         return {resource: self.estimate(features.feature(resource))
-                for resource in SSD_RESOURCES}
+                for resource in features.candidates}
 
     def select(self, features: InstructionFeatures
-               ) -> Tuple[Resource, Dict[Resource, CostEstimate]]:
-        """Equation 2: argmin over the three SSD computation resources."""
+               ) -> Tuple[ResourceLike, Dict[ResourceLike, CostEstimate]]:
+        """Equation 2: argmin over the registered offload candidates.
+
+        Exact-cost ties break by backend *registration order*, which is
+        stable for dynamically registered backends (an enum-value
+        tie-break would silently depend on enum definition order and has
+        no meaning for registry-minted identities).
+        """
         self.evaluations += 1
         estimates = self.estimate_all(features)
         viable = {resource: estimate
@@ -96,6 +103,8 @@ class CostFunction:
         if not viable:
             raise SimulationError(
                 f"no SSD resource supports operation {features.op.value}")
+        order = {resource: index
+                 for index, resource in enumerate(features.candidates)}
         target = min(viable, key=lambda r: (viable[r].total_latency_ns,
-                                            r.value))
+                                            order[r]))
         return target, estimates

@@ -24,8 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common import (DataLocation, OpType, Resource, SSD_RESOURCES,
-                          US)
+from repro.common import DataLocation, OpType, ResourceLike, US
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.layout import ArrayLayout
 from repro.core.platform import SSDPlatform
@@ -41,9 +40,9 @@ COMPUTE_TABLE_LOOKUP_NS = 150.0
 
 @dataclass
 class ResourceFeatures:
-    """Per-resource feature values for one instruction."""
+    """Per-backend feature values for one instruction."""
 
-    resource: Resource
+    resource: ResourceLike
     supported: bool
     expected_compute_latency_ns: float
     data_movement_latency_ns: float
@@ -66,11 +65,21 @@ class InstructionFeatures:
     instruction_uid: int
     op: OpType
     operand_locations: Dict[DataLocation, int]
-    per_resource: Dict[Resource, ResourceFeatures]
+    per_resource: Dict[ResourceLike, ResourceFeatures]
     collection_latency_ns: float
 
-    def feature(self, resource: Resource) -> ResourceFeatures:
+    def feature(self, resource: ResourceLike) -> ResourceFeatures:
         return self.per_resource[resource]
+
+    @property
+    def candidates(self) -> Tuple[ResourceLike, ...]:
+        """Offload candidates this vector covers, in registration order.
+
+        The cost function's argmin, its tie-break and every policy iterate
+        this tuple, so decisions follow the platform's backend roster
+        instead of a hardcoded resource trio.
+        """
+        return tuple(self.per_resource)
 
 
 @dataclass(frozen=True)
@@ -158,11 +167,12 @@ class FeatureCollector:
         # (4) queueing delay: read each resource's running latency counter.
         queue_delays = platform.queues.queueing_delays(now)
         collection_ns += QUEUE_DELAY_TRACK_NS
-        per_resource: Dict[Resource, ResourceFeatures] = {}
-        for resource in SSD_RESOURCES:
-            supported = platform.supports(resource, instruction.op)
+        per_resource: Dict[ResourceLike, ResourceFeatures] = {}
+        for resource in platform.offload_candidates():
+            backend = platform.backends[resource]
+            supported = backend.supports(instruction.op)
             # (5) data-movement latency from the precomputed table.
-            home = platform.home_location(resource)
+            home = backend.home_location
             movement = 0.0
             if self.config.include_data_movement:
                 for location, pages in locations.items():
@@ -171,9 +181,9 @@ class FeatureCollector:
             collection_ns += MOVE_TABLE_LOOKUP_NS
             # (6) expected computation latency from the precomputed table.
             if supported:
-                compute = platform.compute_latency(resource, instruction.op,
-                                                   instruction.size_bytes,
-                                                   instruction.element_bits)
+                compute = backend.operation_latency(instruction.op,
+                                                    instruction.size_bytes,
+                                                    instruction.element_bits)
             else:
                 compute = float("inf")
             collection_ns += COMPUTE_TABLE_LOOKUP_NS

@@ -27,7 +27,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.common import DataLocation, OpType, Resource, SimulationError
+from repro.common import (DataLocation, OpType, Resource, ResourceLike,
+                          SimulationError)
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.layout import ArrayLayout
 from repro.core.offload.features import (FeatureCollector,
@@ -60,7 +61,7 @@ class OffloadDecision:
     """Everything the runtime needs to know about one offloaded instruction."""
 
     instruction: VectorInstruction
-    resource: Resource
+    resource: ResourceLike
     features: InstructionFeatures
     transformed: Optional[TransformedInstruction]
     dispatch_ns: float
@@ -86,12 +87,12 @@ class SSDOffloader:
                                           self.config.feature_config)
         self.transformer = InstructionTransformer(platform)
         self.decisions: List[OffloadDecision] = []
-        #: In-flight queue entries: resource -> min-heap of (end time, uid),
+        #: In-flight queue entries: backend -> min-heap of (end time, uid),
         #: so draining pops only the entries that actually completed instead
-        #: of rebuilding the whole list on every offload call.
-        self._in_flight: Dict[Resource, List[Tuple[float, int]]] = {
-            resource: [] for resource in
-            (Resource.ISP, Resource.PUD, Resource.IFP)}
+        #: of rebuilding the whole list on every offload call.  Keys come
+        #: from the platform's backend registry, not a hardcoded trio.
+        self._in_flight: Dict[ResourceLike, List[Tuple[float, int]]] = {
+            resource: [] for resource in platform.offload_candidates()}
 
     # -- Queue bookkeeping ---------------------------------------------------------
 
@@ -145,7 +146,7 @@ class SSDOffloader:
     # -- Ideal execution (no contention, free data movement) ------------------------------
 
     def _execute_ideal(self, instruction: VectorInstruction,
-                       features: InstructionFeatures, resource: Resource,
+                       features: InstructionFeatures, resource: ResourceLike,
                        dispatch_ns: float, issue_ns: float,
                        deps_ready_ns: float,
                        overhead_ns: float) -> OffloadDecision:
@@ -166,7 +167,7 @@ class SSDOffloader:
     # -- Real execution (moves data, reserves queues) ---------------------------------------
 
     def _execute_real(self, instruction: VectorInstruction,
-                      features: InstructionFeatures, resource: Resource,
+                      features: InstructionFeatures, resource: ResourceLike,
                       transformed: TransformedInstruction,
                       dispatch_ns: float, issue_ns: float,
                       deps_ready_ns: float,
@@ -199,7 +200,7 @@ class SSDOffloader:
         platform.record_compute(reservation.start, resource, instruction.op,
                                 instruction.size_bytes,
                                 instruction.element_bits)
-        if resource is Resource.IFP:
+        if resource.kind is Resource.IFP:
             # Ares-Flash arithmetic (notably multiplication) shuttles partial
             # products between the flash chips and the flash controller,
             # occupying the shared flash channels during execution

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.common import OpType, Resource, SSD_RESOURCES, SimulationError
+from repro.common import OpType, Resource, ResourceLike, SimulationError
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.offload.cost_model import CostFunction, CostModelConfig
 from repro.core.offload.features import InstructionFeatures
@@ -40,7 +40,14 @@ class PolicyContext:
 
 
 class OffloadingPolicy(abc.ABC):
-    """Base class for instruction-granularity offloading policies."""
+    """Base class for instruction-granularity offloading policies.
+
+    Policies see the platform's backend roster through
+    ``features.candidates`` (registration order); single-resource
+    baselines select backends by their resource *family* (``kind``), so a
+    platform grown to several ISP cores or an extra PuD tier needs no
+    policy edits.
+    """
 
     #: Human-readable policy name used in experiment tables.
     name: str = "policy"
@@ -50,17 +57,39 @@ class OffloadingPolicy(abc.ABC):
     @abc.abstractmethod
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        """Pick the SSD computation resource for ``instruction``."""
+               context: PolicyContext) -> ResourceLike:
+        """Pick the compute backend for ``instruction``."""
 
-    def _supported(self, features: InstructionFeatures) -> Dict[Resource, bool]:
+    def _supported(self, features: InstructionFeatures
+                   ) -> Dict[ResourceLike, bool]:
         return {resource: features.feature(resource).supported
-                for resource in SSD_RESOURCES}
+                for resource in features.candidates}
 
     @staticmethod
-    def _fallback(features: InstructionFeatures) -> Resource:
-        if features.feature(Resource.ISP).supported:
-            return Resource.ISP
+    def _viable(features: InstructionFeatures) -> List[ResourceLike]:
+        """Supported candidates in registration order."""
+        return [resource for resource in features.candidates
+                if features.feature(resource).supported]
+
+    @staticmethod
+    def _of_kind(features: InstructionFeatures,
+                 kind: Resource) -> List[ResourceLike]:
+        """Candidates of one resource family, in registration order."""
+        return [resource for resource in features.candidates
+                if resource.kind is kind]
+
+    @classmethod
+    def _least_queued(cls, features: InstructionFeatures,
+                      candidates: List[ResourceLike]) -> ResourceLike:
+        """The least-backlogged candidate (ties keep registration order)."""
+        return min(candidates,
+                   key=lambda r: features.feature(r).queueing_delay_ns)
+
+    @staticmethod
+    def _fallback(features: InstructionFeatures) -> ResourceLike:
+        for resource in features.candidates:
+            if features.feature(resource).supported:
+                return resource
         raise SimulationError("no resource supports the instruction")
 
 
@@ -74,22 +103,29 @@ class ConduitPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
+               context: PolicyContext) -> ResourceLike:
         target, _ = self.cost_function.select(features)
         return target
 
 
 class IdealPolicy(OffloadingPolicy):
-    """Upper bound: lowest computation latency, no contention, free moves."""
+    """Upper bound: lowest computation latency, no contention, free moves.
+
+    The prior-work baselines (Ideal, BW-, DM-Offloading) keep their
+    historical ``r.value`` tie-break: their pinned golden behaviour
+    predates the registry (BW-Offloading ties on all-zero utilization at
+    startup, where the lexicographic order is observable), and they are
+    frozen reference points rather than evolving policies.  Conduit's
+    cost function is the one that tie-breaks by registration order.
+    """
 
     name = "Ideal"
     is_ideal = True
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        viable = [r for r in SSD_RESOURCES
-                  if features.feature(r).supported]
+               context: PolicyContext) -> ResourceLike:
+        viable = self._viable(features)
         return min(viable, key=lambda r: (
             features.feature(r).expected_compute_latency_ns, r.value))
 
@@ -101,9 +137,8 @@ class BWOffloadingPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        viable = [r for r in SSD_RESOURCES
-                  if features.feature(r).supported]
+               context: PolicyContext) -> ResourceLike:
+        viable = self._viable(features)
         if not viable:
             return self._fallback(features)
         utilization = {r: context.platform.bandwidth_utilization(
@@ -118,9 +153,8 @@ class DMOffloadingPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        viable = [r for r in SSD_RESOURCES
-                  if features.feature(r).supported]
+               context: PolicyContext) -> ResourceLike:
+        viable = self._viable(features)
         if not viable:
             return self._fallback(features)
         return min(viable, key=lambda r: (
@@ -129,14 +163,22 @@ class DMOffloadingPolicy(OffloadingPolicy):
 
 
 class ISPOnlyPolicy(OffloadingPolicy):
-    """All computation on the SSD controller cores."""
+    """All computation on the SSD controller cores.
+
+    On a multi-core roster (``isp[0..n)``) work goes to the
+    least-backlogged core, which is what a firmware round-robin converges
+    to; on the default roster this is always the single ISP backend.
+    """
 
     name = "ISP"
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        return Resource.ISP
+               context: PolicyContext) -> ResourceLike:
+        cores = self._of_kind(features, Resource.ISP)
+        if not cores:
+            return self._fallback(features)
+        return self._least_queued(features, cores)
 
 
 class PuDOnlyPolicy(OffloadingPolicy):
@@ -146,9 +188,11 @@ class PuDOnlyPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        if features.feature(Resource.PUD).supported:
-            return Resource.PUD
+               context: PolicyContext) -> ResourceLike:
+        tiers = [r for r in self._of_kind(features, Resource.PUD)
+                 if features.feature(r).supported]
+        if tiers:
+            return self._least_queued(features, tiers)
         return self._fallback(features)
 
 
@@ -159,10 +203,12 @@ class FlashCosmosPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        if (instruction.op.is_bitwise
-                and features.feature(Resource.IFP).supported):
-            return Resource.IFP
+               context: PolicyContext) -> ResourceLike:
+        if instruction.op.is_bitwise:
+            units = [r for r in self._of_kind(features, Resource.IFP)
+                     if features.feature(r).supported]
+            if units:
+                return self._least_queued(features, units)
         return self._fallback(features)
 
 
@@ -173,9 +219,11 @@ class AresFlashPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        if features.feature(Resource.IFP).supported:
-            return Resource.IFP
+               context: PolicyContext) -> ResourceLike:
+        units = [r for r in self._of_kind(features, Resource.IFP)
+                 if features.feature(r).supported]
+        if units:
+            return self._least_queued(features, units)
         return self._fallback(features)
 
 
@@ -195,12 +243,15 @@ class NaiveIFPISPPolicy(OffloadingPolicy):
 
     def choose(self, instruction: VectorInstruction,
                features: InstructionFeatures,
-               context: PolicyContext) -> Resource:
-        ifp_ok = features.feature(Resource.IFP).supported
-        if not ifp_ok:
-            return Resource.ISP
+               context: PolicyContext) -> ResourceLike:
+        units = [r for r in self._of_kind(features, Resource.IFP)
+                 if features.feature(r).supported]
+        cores = self._of_kind(features, Resource.ISP)
+        if not units or not cores:
+            return self._fallback(features)
         self._toggle = not self._toggle
-        return Resource.IFP if self._toggle else Resource.ISP
+        return (self._least_queued(features, units) if self._toggle
+                else self._least_queued(features, cores))
 
 
 #: Registry of instantiable policies keyed by their experiment-table names.

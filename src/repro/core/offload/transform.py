@@ -21,10 +21,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common import OpType, Resource, SimulationError
+from repro.common import OpType, Resource, ResourceLike, SimulationError
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.platform import SSDPlatform
-from repro.ifp.isa import IFP_SUPPORTED_OPS
 from repro.ifp.isa import primitive as ifp_primitive
 from repro.isp.isa import mnemonic as isp_mnemonic
 
@@ -39,12 +38,20 @@ def pud_mnemonic(op: OpType) -> str:
     return f"bbop_{op.value}"
 
 
+#: Native mnemonic generators keyed by resource family.
+_KIND_MNEMONIC = {
+    Resource.ISP: isp_mnemonic,
+    Resource.PUD: pud_mnemonic,
+    Resource.IFP: ifp_primitive,
+}
+
+
 @dataclass
 class TransformedInstruction:
     """The native-ISA form of one offloaded instruction."""
 
     uid: int
-    resource: Resource
+    resource: ResourceLike
     native_op: str
     sub_operations: int
     sub_operation_bytes: int
@@ -52,7 +59,7 @@ class TransformedInstruction:
 
 
 class InstructionTransformer:
-    """Translates vector instructions into per-resource native forms."""
+    """Translates vector instructions into per-backend native forms."""
 
     def __init__(self, platform: SSDPlatform) -> None:
         self.platform = platform
@@ -62,21 +69,32 @@ class InstructionTransformer:
 
     # -- Translation table -----------------------------------------------------
 
-    def _build_table(self) -> Dict[Tuple[OpType, Resource], str]:
-        table: Dict[Tuple[OpType, Resource], str] = {}
+    def _build_table(self) -> Dict[Tuple[OpType, ResourceLike], str]:
+        """One native entry per (op, registered offload candidate).
+
+        The mnemonic generator follows the backend's resource family (all
+        ISP cores speak MVE, every PuD tier speaks ``bbop_*``), so
+        registry-grown backends get translation entries without edits
+        here.  ISP-family backends are the universal fallback and carry an
+        entry for every operation; other families are gated on support.
+        """
+        table: Dict[Tuple[OpType, ResourceLike], str] = {}
+        candidates = self.platform.offload_candidates()
         for op in OpType:
-            table[(op, Resource.ISP)] = isp_mnemonic(op)
-            if self.platform.pud.supports(op):
-                table[(op, Resource.PUD)] = pud_mnemonic(op)
-            if op in IFP_SUPPORTED_OPS:
-                table[(op, Resource.IFP)] = ifp_primitive(op)
+            for resource in candidates:
+                backend = self.platform.backends[resource]
+                mnemonic = _KIND_MNEMONIC.get(backend.kind)
+                if mnemonic is None:
+                    continue
+                if backend.kind is Resource.ISP or backend.supports(op):
+                    table[(op, resource)] = mnemonic(op)
         return table
 
     def table_bytes(self) -> int:
         """Storage footprint of the translation table in SSD DRAM."""
         return len(self._table) * TRANSLATION_ENTRY_BYTES
 
-    def native_op(self, op: OpType, resource: Resource) -> str:
+    def native_op(self, op: OpType, resource: ResourceLike) -> str:
         key = (op, resource)
         if key not in self._table:
             raise SimulationError(
@@ -85,18 +103,21 @@ class InstructionTransformer:
 
     # -- Vector-width splitting ---------------------------------------------------
 
-    def sub_operation_bytes(self, resource: Resource) -> int:
-        """Largest chunk the target resource processes as one operation."""
-        if resource is Resource.PUD:
-            return self.platform.pud.row_bytes
-        if resource is Resource.IFP:
-            return self.platform.ifp.page_bytes
-        # ISP: MVE beats are tiny; the offloader hands the core SRAM-tile
-        # sized chunks (one flash page) and lets the core loop over beats.
-        return self.platform.page_size
+    def sub_operation_bytes(self, resource: ResourceLike) -> int:
+        """Largest chunk the target backend processes as one operation.
+
+        Backends advertise their native granularity (DRAM rows for PuD
+        tiers, flash pages for IFP); backends without one -- ISP cores,
+        whose MVE beats are tiny -- receive SRAM-tile sized chunks of one
+        flash page and loop over beats internally.
+        """
+        chunk = self.platform.backends[resource].native_chunk_bytes
+        if chunk is None:
+            return self.platform.page_size
+        return chunk
 
     def split(self, instruction: VectorInstruction,
-              resource: Resource) -> Tuple[int, int]:
+              resource: ResourceLike) -> Tuple[int, int]:
         """Return (sub_operations, bytes per sub-operation)."""
         chunk = self.sub_operation_bytes(resource)
         sub_operations = max(1, math.ceil(instruction.size_bytes / chunk))
@@ -105,7 +126,7 @@ class InstructionTransformer:
     # -- Transformation ---------------------------------------------------------------
 
     def transform(self, instruction: VectorInstruction,
-                  resource: Resource) -> TransformedInstruction:
+                  resource: ResourceLike) -> TransformedInstruction:
         """Translate ``instruction`` for ``resource`` (charges lookup time)."""
         native = self.native_op(instruction.op, resource)
         sub_operations, sub_bytes = self.split(instruction, resource)

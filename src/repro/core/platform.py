@@ -40,18 +40,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common import (DataLocation, MIB, OpType, Resource,
-                          RESOURCE_HOME_LOCATION, SimulationError)
+from repro.common import (BackendId, DataLocation, MIB, OpType, Resource,
+                          ResourceLike, SimulationError)
+from repro.core.backends import BackendRegistry
 from repro.core.coherence import CoherenceDirectory, CoherencePolicy
 from repro.dram.config import DRAMConfig
+from repro.dram.cxl import CXLPuDBackend, CXLPuDConfig
 from repro.dram.dram import DRAMDevice
-from repro.dram.pud import PuDUnit
+from repro.dram.pud import PuDBackend, PuDUnit
 from repro.energy.model import EnergyAccount
 from repro.host.config import HostCPUConfig, HostGPUConfig, HostMemoryConfig
-from repro.host.cpu import HostCPU
-from repro.host.gpu import HostGPU
-from repro.ifp.unit import IFPUnit
-from repro.isp.core import EmbeddedCoreComplex
+from repro.host.cpu import HostCPU, HostCPUBackend
+from repro.host.gpu import HostGPU, HostGPUBackend
+from repro.ifp.unit import IFPBackend, IFPUnit
+from repro.isp.core import EmbeddedCoreComplex, ISPBackend
 from repro.ssd.config import SSDConfig
 from repro.ssd.events import Server
 from repro.ssd.queues import ResourceQueueSet
@@ -83,6 +85,22 @@ class PlatformConfig:
     #: run segment).  ``False`` selects the per-page reference path, kept
     #: for the golden-equivalence test of the batched engine.
     batched_movement: bool = True
+
+    # -- Backend roster (the platform's compute shape is data, not code) ----
+
+    #: Number of ISP compute-core backends to register.  ``1`` (the paper's
+    #: configuration) registers a single backend for the controller's
+    #: compute-core pool; ``n > 1`` registers per-core backends
+    #: ``isp[0..n)``, each with its own execution queue, so the cost
+    #: function sees (and balances) per-core contention.  On a per-core
+    #: roster the pooled ``Resource.ISP`` identity is *not* registered --
+    #: identity lookups for it fail loudly; discover the cores via
+    #: ``platform.backends.backends_of_kind(Resource.ISP)``.
+    isp_cores: int = 1
+
+    #: Opt-in CXL-attached PuD tier with its own latency/energy/bandwidth
+    #: point (see :mod:`repro.dram.cxl`).  ``None`` disables the tier.
+    cxl_pud: Optional[CXLPuDConfig] = None
 
 
 class _LocationWindow:
@@ -183,11 +201,38 @@ class DataMovementStats:
                 self.writeback_pages)
 
 
+def backend_roster(config: PlatformConfig) -> Tuple[str, ...]:
+    """Backend identities a configuration will register, in order.
+
+    Computable without building a platform (the sweep cache folds this
+    roster into its keys, so entries recorded on a differently-shaped
+    platform can never be served).  :meth:`SSDPlatform._build_backends`
+    verifies its registry against this prediction on every construction,
+    so a roster knob added to one but not the other fails loudly for any
+    shape -- the cache guarantee is enforced structurally, not by
+    convention.
+    """
+    roster: List[str] = []
+    if config.isp_cores <= 1:
+        roster.append(Resource.ISP.value)
+    else:
+        roster.extend(f"isp[{core}]" for core in range(config.isp_cores))
+    roster.append(Resource.PUD.value)
+    roster.append(Resource.IFP.value)
+    if config.cxl_pud is not None:
+        roster.append("cxl-pud")
+    roster.append(Resource.HOST_CPU.value)
+    roster.append(Resource.HOST_GPU.value)
+    return tuple(roster)
+
+
 class SSDPlatform:
     """The complete simulated system."""
 
     def __init__(self, config: Optional[PlatformConfig] = None) -> None:
         self.config = config or PlatformConfig()
+        if self.config.isp_cores < 1:
+            raise SimulationError("PlatformConfig.isp_cores must be >= 1")
         ssd_config = self.config.ssd
         self.ssd = SSD(ssd_config)
         self.dram = DRAMDevice(self.config.dram)
@@ -200,11 +245,11 @@ class SSDPlatform:
         self.energy = EnergyAccount(ssd_config.energy,
                                     self.config.host_memory)
         self.coherence = CoherenceDirectory(self.config.coherence_policy)
-        self.queues = ResourceQueueSet(
-            isp_parallelism=ssd_config.controller.compute_cores,
-            pud_parallelism=self.config.dram.banks,
-            ifp_parallelism=self.ifp.die_parallelism,
-        )
+        #: Every compute engine of the system, keyed by identity; the
+        #: offload stack discovers its candidates here.
+        self.backends = self._build_backends()
+        #: Aggregate view over the backends' execution queues.
+        self.queues = ResourceQueueSet(self.backends.queues())
         #: The controller core running the SSD offloader itself.
         self.dispatch_core = Server("offloader-core")
 
@@ -219,6 +264,51 @@ class SSDPlatform:
         self._residence: Dict[int, DataLocation] = {}
         self.movement = DataMovementStats()
         self._move_table = self._build_move_table()
+
+    # ------------------------------------------------------------------------
+    # Backend registry (the platform's compute shape, grown from config)
+    # ------------------------------------------------------------------------
+
+    def _build_backends(self) -> BackendRegistry:
+        """Register one backend per configured compute engine.
+
+        Registration order is the stable candidate/tie-break order of the
+        offload stack; it must match :func:`backend_roster`.
+        """
+        config = self.config
+        ssd_config = config.ssd
+        registry = BackendRegistry()
+        if config.isp_cores <= 1:
+            registry.register(ISPBackend(Resource.ISP, self.isp))
+        else:
+            for core in range(config.isp_cores):
+                registry.register(ISPBackend(
+                    BackendId(f"isp[{core}]", Resource.ISP),
+                    EmbeddedCoreComplex(ssd_config.controller,
+                                        ssd_config.energy),
+                    queue_parallelism=1))
+        registry.register(PuDBackend(Resource.PUD, self.pud))
+        registry.register(IFPBackend(Resource.IFP, self.ifp,
+                                     self.ssd.channels))
+        if config.cxl_pud is not None:
+            registry.register(CXLPuDBackend(
+                BackendId("cxl-pud", Resource.PUD), config.cxl_pud))
+        registry.register(HostCPUBackend(Resource.HOST_CPU, self.host_cpu,
+                                         self.ssd.nvme.pcie))
+        registry.register(HostGPUBackend(Resource.HOST_GPU, self.host_gpu,
+                                         self.ssd.nvme.pcie))
+        expected = backend_roster(config)
+        if registry.roster() != expected:
+            raise SimulationError(
+                f"backend registry {registry.roster()} diverged from "
+                f"backend_roster() prediction {expected}; update both when "
+                "adding a roster knob (the sweep cache keys on the "
+                "prediction)")
+        return registry
+
+    def offload_candidates(self) -> Tuple[ResourceLike, ...]:
+        """Identities the SSD offloader may target (registration order)."""
+        return self.backends.offload_candidates()
 
     # ------------------------------------------------------------------------
     # Dataset placement
@@ -665,81 +755,44 @@ class SSDPlatform:
     # Computation latency / energy / execution
     # ------------------------------------------------------------------------
 
-    def supports(self, resource: Resource, op: OpType) -> bool:
-        if resource is Resource.ISP:
-            return self.isp.supports(op)
-        if resource is Resource.PUD:
-            return self.pud.supports(op)
-        if resource is Resource.IFP:
-            return self.ifp.supports(op)
-        return True
+    def supports(self, resource: ResourceLike, op: OpType) -> bool:
+        return self.backends[resource].supports(op)
 
-    def compute_latency(self, resource: Resource, op: OpType,
+    def compute_latency(self, resource: ResourceLike, op: OpType,
                         size_bytes: int, element_bits: int) -> float:
         """Expected computation latency of one instruction on ``resource``."""
-        if resource is Resource.ISP:
-            return self.isp.operation_latency(op, size_bytes, element_bits)
-        if resource is Resource.PUD:
-            return self.pud.operation_latency(op, size_bytes, element_bits)
-        if resource is Resource.IFP:
-            return self.ifp.operation_latency(op, size_bytes, element_bits)
-        if resource is Resource.HOST_CPU:
-            return self.host_cpu.operation_latency(op, size_bytes,
-                                                   element_bits)
-        return self.host_gpu.operation_latency(op, size_bytes, element_bits)
+        return self.backends[resource].operation_latency(op, size_bytes,
+                                                         element_bits)
 
-    def compute_energy(self, resource: Resource, op: OpType,
+    def compute_energy(self, resource: ResourceLike, op: OpType,
                        size_bytes: int, element_bits: int) -> float:
-        if resource is Resource.ISP:
-            return self.isp.operation_energy(op, size_bytes, element_bits)
-        if resource is Resource.PUD:
-            return self.pud.operation_energy(op, size_bytes, element_bits)
-        if resource is Resource.IFP:
-            return self.ifp.operation_energy(op, size_bytes, element_bits)
-        if resource is Resource.HOST_CPU:
-            return self.host_cpu.operation_energy(op, size_bytes,
-                                                  element_bits)
-        return self.host_gpu.operation_energy(op, size_bytes, element_bits)
+        return self.backends[resource].operation_energy(op, size_bytes,
+                                                        element_bits)
 
-    def record_compute(self, now: float, resource: Resource, op: OpType,
+    def record_compute(self, now: float, resource: ResourceLike, op: OpType,
                        size_bytes: int, element_bits: int) -> float:
-        """Record execution on the compute unit; returns its latency."""
-        if resource is Resource.ISP:
-            timing = self.isp.execute(now, op, size_bytes, element_bits)
-        elif resource is Resource.PUD:
-            timing = self.pud.execute(now, op, size_bytes, element_bits)
-        elif resource is Resource.IFP:
-            timing = self.ifp.execute(now, op, size_bytes, element_bits)
-        elif resource is Resource.HOST_CPU:
-            timing = self.host_cpu.execute(now, op, size_bytes, element_bits)
-        else:
-            timing = self.host_gpu.execute(now, op, size_bytes, element_bits)
+        """Record execution on the compute backend; returns its latency."""
+        backend = self.backends[resource]
+        timing = backend.execute(now, op, size_bytes, element_bits)
         self.energy.add_compute(
-            resource, self.compute_energy(resource, op, size_bytes,
-                                          element_bits))
+            resource, backend.operation_energy(op, size_bytes, element_bits))
         return timing.latency_ns
 
     # ------------------------------------------------------------------------
     # Utilization snapshot (BW-Offloading input)
     # ------------------------------------------------------------------------
 
-    def bandwidth_utilization(self, resource: Resource,
+    def bandwidth_utilization(self, resource: ResourceLike,
                               elapsed: float) -> float:
-        """Approximate bandwidth utilization of each resource's data path."""
+        """Approximate bandwidth utilization of a backend's data path."""
         if elapsed <= 0:
             return 0.0
-        if resource is Resource.IFP:
-            return self.ssd.channels.die_utilization(elapsed)
-        if resource is Resource.PUD:
-            return self.dram.utilization(elapsed)
-        if resource is Resource.ISP:
-            return self.queues[Resource.ISP].utilization(elapsed)
-        return self.ssd.nvme.pcie.utilization(elapsed)
+        return self.backends[resource].utilization(elapsed)
 
     # ------------------------------------------------------------------------
     # Home locations
     # ------------------------------------------------------------------------
 
-    @staticmethod
-    def home_location(resource: Resource) -> DataLocation:
-        return RESOURCE_HOME_LOCATION[resource]
+    def home_location(self, resource: ResourceLike) -> DataLocation:
+        """Where operands must reside for ``resource`` to compute."""
+        return self.backends[resource].home_location

@@ -2,10 +2,13 @@
 
 from repro.dram.bank import BankStatistics, DRAMBank
 from repro.dram.config import DRAMConfig
+from repro.dram.cxl import CXLPuDBackend, CXLPuDConfig
 from repro.dram.dram import DRAMAccessTiming, DRAMDevice
-from repro.dram.pud import PUD_SUPPORTED_OPS, PuDOperationTiming, PuDUnit
+from repro.dram.pud import (PUD_SUPPORTED_OPS, PuDBackend,
+                            PuDOperationTiming, PuDUnit)
 
 __all__ = [
-    "BankStatistics", "DRAMBank", "DRAMConfig", "DRAMAccessTiming",
-    "DRAMDevice", "PUD_SUPPORTED_OPS", "PuDOperationTiming", "PuDUnit",
+    "BankStatistics", "DRAMBank", "DRAMConfig", "CXLPuDBackend",
+    "CXLPuDConfig", "DRAMAccessTiming", "DRAMDevice", "PUD_SUPPORTED_OPS",
+    "PuDBackend", "PuDOperationTiming", "PuDUnit",
 ]

@@ -1,0 +1,93 @@
+"""CXL-attached processing-using-DRAM tier (opt-in compute backend).
+
+A CXL memory expander with an Ambit/SIMDRAM-style compute capability sits
+*outside* the SSD, on the host-side CXL link: its operands are
+host-addressable (home location = host memory, reached over the platform's
+host link), while its bulk-bitwise compute point is its own -- a wider bank
+pool and device-grade LPDDR timing, with every native operation paying a
+CXL command round-trip on top.
+
+The tier exists to prove the backend registry: enabling it is a single
+:class:`~repro.core.platform.PlatformConfig` entry
+(``cxl_pud=CXLPuDConfig()``), after which the cost function weighs it
+against the in-SSD resources -- cheap for compute-heavy operations on
+host-resident data, expensive for flash-resident streaming -- without any
+edits to the offloader, cost model or feature collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common import DataLocation, GIB, OpType, ResourceLike
+from repro.core.backends import ComputeBackend
+from repro.dram.config import DRAMConfig
+from repro.dram.dram import DRAMDevice
+from repro.dram.pud import PuDOperationTiming, PuDUnit
+
+
+def _default_cxl_dram() -> DRAMConfig:
+    """A CXL expander's DRAM point: more banks, slightly slower rows.
+
+    CXL memory devices carry more parallel banks than the SSD's LPDDR4
+    channel but add protocol/controller latency to every row operation;
+    the bbop latency/energy values below are that trade-off.
+    """
+    return DRAMConfig(capacity_bytes=4 * GIB, banks=16,
+                      bbop_latency_ns=60.0, bbop_energy_nj=1.05)
+
+
+@dataclass(frozen=True)
+class CXLPuDConfig:
+    """Configuration of the opt-in CXL-attached PuD tier."""
+
+    dram: DRAMConfig = field(default_factory=_default_cxl_dram)
+    #: CXL command + completion round-trip charged once per operation.
+    link_latency_ns: float = 600.0
+    #: Link energy of that round-trip (nJ per operation).
+    link_energy_nj: float = 40.0
+
+
+class CXLPuDBackend(ComputeBackend):
+    """PuD compute on a CXL memory expander.
+
+    Wraps its own :class:`DRAMDevice`/:class:`PuDUnit` pair (bank
+    reservations and utilization are private to the tier) and charges the
+    CXL link round-trip on every operation.
+    """
+
+    def __init__(self, resource: ResourceLike, config: CXLPuDConfig) -> None:
+        self.config = config
+        self.dram = DRAMDevice(config.dram)
+        self.unit = PuDUnit(self.dram)
+        super().__init__(resource, DataLocation.HOST, config.dram.banks)
+
+    @property
+    def native_chunk_bytes(self) -> Optional[int]:
+        return self.unit.row_bytes
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return (self.config.link_latency_ns +
+                self.unit.operation_latency(op, size_bytes, element_bits))
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return (self.config.link_energy_nj +
+                self.unit.operation_energy(op, size_bytes, element_bits))
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> PuDOperationTiming:
+        inner = self.unit.execute(now + self.config.link_latency_ns, op,
+                                  size_bytes, element_bits)
+        # Report the link round-trip as part of the operation's latency.
+        return PuDOperationTiming(start_ns=now, end_ns=inner.end_ns,
+                                  rows=inner.rows,
+                                  steps_per_row=inner.steps_per_row)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.dram.utilization(elapsed)

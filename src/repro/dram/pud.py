@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
-from repro.common import OpType, SimulationError
+from repro.common import DataLocation, OpType, ResourceLike, SimulationError
+from repro.core.backends import ComputeBackend
 from repro.dram.config import DRAMConfig
 from repro.dram.dram import DRAMDevice
 
@@ -138,3 +139,39 @@ class PuDUnit:
         self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
         return PuDOperationTiming(start_ns=now, end_ns=finish, rows=rows,
                                   steps_per_row=steps)
+
+
+class PuDBackend(ComputeBackend):
+    """Compute backend adapting :class:`PuDUnit` over the SSD DRAM.
+
+    Queue parallelism follows the bank count (rows in different banks
+    operate concurrently); the utilization snapshot is the DRAM data bus,
+    which PuD operations share with the data-movement engine.
+    """
+
+    def __init__(self, resource: ResourceLike, unit: PuDUnit) -> None:
+        super().__init__(resource, DataLocation.SSD_DRAM,
+                         unit.config.banks)
+        self.unit = unit
+
+    @property
+    def native_chunk_bytes(self) -> Optional[int]:
+        return self.unit.row_bytes
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return self.unit.operation_latency(op, size_bytes, element_bits)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return self.unit.operation_energy(op, size_bytes, element_bits)
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> PuDOperationTiming:
+        return self.unit.execute(now, op, size_bytes, element_bits)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.unit.dram.utilization(elapsed)

@@ -13,7 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.common import KIB, Resource
+from repro.common import KIB, ResourceLike
 from repro.ssd.config import SSDEnergyConfig
 from repro.host.config import HostMemoryConfig
 
@@ -49,7 +49,12 @@ class EnergyAccount:
 
     # -- Computation ------------------------------------------------------------
 
-    def add_compute(self, resource: Resource, energy_nj: float) -> None:
+    def add_compute(self, resource: ResourceLike, energy_nj: float) -> None:
+        """Add computation energy under the backend's report key.
+
+        Registry-grown backends (``isp[0]``, ``cxl-pud``, ...) appear as
+        their own rows in the per-resource breakdown.
+        """
         self._compute[resource.value] += energy_nj
 
     # -- Data movement -----------------------------------------------------------

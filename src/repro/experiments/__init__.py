@@ -1,5 +1,7 @@
 """Experiment harnesses: one module per table/figure of the evaluation."""
 
+from repro.experiments.backend_ablation import (ablation_rosters,
+                                                run_backend_ablation)
 from repro.experiments.fig4_case_study import run_case_study
 from repro.experiments.fig5_motivation import run_motivation
 from repro.experiments.fig7_speedup_energy import Fig7Results, run_fig7
@@ -21,6 +23,7 @@ from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
 from repro.experiments.table3_workloads import run_table3
 
 __all__ = [
+    "ablation_rosters", "run_backend_ablation",
     "run_case_study", "run_motivation", "Fig7Results", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",
     "run_timeline", "run_overheads", "format_table", "nested_to_rows",

@@ -1,0 +1,109 @@
+"""Backend-roster ablation: grow the platform via config, watch decisions.
+
+The registry refactor's proof: the same cost function, offloader and
+feature collector run unchanged while the platform's compute shape is
+grown purely through :class:`~repro.core.platform.PlatformConfig` --
+
+* ``default`` -- the paper's trio (one ISP backend, PuD-SSD, IFP);
+* ``isp-cores`` -- the ISP pool split into per-core backends
+  ``isp[0..n)``, each with its own execution queue;
+* ``cxl-pud`` -- an opt-in CXL-attached PuD tier with its own
+  latency/energy/bandwidth point.
+
+For every (workload, roster) pair the sweep reports total time and the
+per-family decision mix, plus the fraction landing on the grown backends,
+so the shift in the cost model's argmin is directly visible (the CXL tier
+absorbs compute-heavy work once the in-SSD PuD queue backs up; per-core
+ISP queues expose contention the pooled backend hid).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.common import Resource
+from repro.core.platform import PlatformConfig, SSDPlatform, backend_roster
+from repro.core.runtime import ConduitRuntime
+from repro.core.offload.policies import make_policy
+from repro.dram.cxl import CXLPuDConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentConfig, \
+    experiment_platform_config
+from repro.workloads import Workload
+
+#: Workloads whose operation mix exercises all three resource families.
+ABLATION_WORKLOADS = ("LLM Training", "LlaMA2 Inference", "XOR Filter")
+
+#: Per-core ISP backends registered by the ``isp-cores`` roster.
+ABLATION_ISP_CORES = 4
+
+
+def _grown_platform(base: PlatformConfig, *, isp_cores: int = 1,
+                    cxl_pud: Optional[CXLPuDConfig] = None
+                    ) -> PlatformConfig:
+    """The base experiment platform with a different backend roster."""
+    return dataclasses.replace(base, isp_cores=isp_cores, cxl_pud=cxl_pud)
+
+
+def ablation_rosters(base: Optional[PlatformConfig] = None
+                     ) -> Dict[str, PlatformConfig]:
+    """The platform shapes the ablation compares, keyed by roster name."""
+    base = base or experiment_platform_config()
+    return {
+        "default": _grown_platform(base),
+        f"isp-cores[{ABLATION_ISP_CORES}]": _grown_platform(
+            base, isp_cores=ABLATION_ISP_CORES),
+        "cxl-pud": _grown_platform(base, cxl_pud=CXLPuDConfig()),
+    }
+
+
+def run_backend_ablation(config: Optional[ExperimentConfig] = None, *,
+                         policy: str = "Conduit",
+                         workload_names: Sequence[str] = ABLATION_WORKLOADS
+                         ) -> List[Dict[str, object]]:
+    """One row per (workload, roster) with timing and decision mix."""
+    config = config or ExperimentConfig()
+    workloads: List[Workload] = [w for w in config.workloads()
+                                 if w.name in set(workload_names)]
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        program, _ = workload.vector_program()
+        baseline_ns: Optional[float] = None
+        for roster_name, platform_config in ablation_rosters(
+                config.platform).items():
+            platform = SSDPlatform(platform_config)
+            result = ConduitRuntime(platform, config.runtime).execute(
+                program, make_policy(policy), workload.name)
+            if baseline_ns is None:
+                baseline_ns = result.total_time_ns
+            kinds = result.kind_fractions()
+            fractions = result.ssd_resource_fractions()
+            grown = sum(value for resource, value in fractions.items()
+                        if resource not in (Resource.ISP, Resource.PUD,
+                                            Resource.IFP))
+            rows.append({
+                "workload": workload.name,
+                "roster": roster_name,
+                "backends": len(backend_roster(platform_config)),
+                "time_ms": result.total_time_ns / 1e6,
+                "speedup_vs_default": baseline_ns / result.total_time_ns,
+                "isp": kinds.get(Resource.ISP, 0.0),
+                "pud_ssd": kinds.get(Resource.PUD, 0.0),
+                "ifp": kinds.get(Resource.IFP, 0.0),
+                "grown_backends": grown,
+            })
+    return rows
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    rows = run_backend_ablation(config)
+    text = format_table(rows, float_digits=3)
+    print("Backend-roster ablation -- config-grown platforms, one cost "
+          "function")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

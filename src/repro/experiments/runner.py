@@ -48,7 +48,8 @@ from repro.common import MIB, Resource
 from repro.core.compiler.ir import VectorProgram
 from repro.core.metrics import ExecutionResult, geometric_mean, speedup
 from repro.core.offload.policies import OffloadingPolicy, make_policy
-from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.core.platform import (PlatformConfig, SSDPlatform,
+                                 backend_roster)
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
 from repro.workloads import Workload, default_workloads, workload_by_name
 
@@ -77,7 +78,9 @@ DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
 
 #: Bump whenever simulation semantics change in a way that is not captured
 #: by the configuration objects, so stale cache entries are never reused.
-SWEEP_CACHE_VERSION = 1
+#: Version 2: the compute-backend registry refactor (dispatch, tie-breaks
+#: and candidate discovery now flow through the platform's backend roster).
+SWEEP_CACHE_VERSION = 2
 
 
 def experiment_platform_config() -> PlatformConfig:
@@ -162,10 +165,15 @@ def run_spec_key(spec: RunSpec) -> str:
     """Stable content hash of a :class:`RunSpec` (plus cache version).
 
     The key covers every code-relevant knob: workload identity and scale,
-    policy name, and the full platform/runtime configuration trees.  It is
-    what shards the sweep deterministically and keys the on-disk cache.
+    policy name, and the full platform/runtime configuration trees.  The
+    enabled-backend roster is folded in explicitly (on top of the platform
+    configuration that implies it), so entries recorded on a
+    differently-shaped platform can never be served, even if a future
+    roster knob escapes the config tree.  It is what shards the sweep
+    deterministically and keys the on-disk cache.
     """
-    payload = {"version": SWEEP_CACHE_VERSION, "spec": _canonical(spec)}
+    payload = {"version": SWEEP_CACHE_VERSION, "spec": _canonical(spec),
+               "backends": list(backend_roster(spec.platform))}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -1,10 +1,11 @@
 """Host substrate: analytical CPU/GPU models for OSP baselines."""
 
 from repro.host.config import HostCPUConfig, HostGPUConfig, HostMemoryConfig
-from repro.host.cpu import HostCPU, HostOperationTiming
-from repro.host.gpu import GPUOperationTiming, HostGPU
+from repro.host.cpu import HostCPU, HostCPUBackend, HostOperationTiming
+from repro.host.gpu import GPUOperationTiming, HostGPU, HostGPUBackend
 
 __all__ = [
     "HostCPUConfig", "HostGPUConfig", "HostMemoryConfig", "HostCPU",
-    "HostOperationTiming", "GPUOperationTiming", "HostGPU",
+    "HostCPUBackend", "HostOperationTiming", "GPUOperationTiming",
+    "HostGPU", "HostGPUBackend",
 ]

@@ -14,7 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.common import OpType, SimulationError
+from repro.common import DataLocation, OpType, ResourceLike, SimulationError
+from repro.core.backends import ComputeBackend
 from repro.host.config import HostCPUConfig
 
 #: Per-SIMD-operation cycle costs on the host CPU (throughput cycles for one
@@ -88,3 +89,40 @@ class HostCPU:
         return HostOperationTiming(start_ns=now, end_ns=now + latency,
                                    compute_ns=compute_ns,
                                    memory_ns=memory_ns)
+
+
+class HostCPUBackend(ComputeBackend):
+    """Compute backend adapting :class:`HostCPU` (OSP baseline engine).
+
+    Host engines are not offload candidates -- the SSD offloader never
+    targets them -- but exposing them through the same protocol lets the
+    host runtime, energy accounting and contract tests treat every engine
+    uniformly.  The utilization snapshot is the PCIe link all host-bound
+    operands cross.
+    """
+
+    offloadable = False
+
+    def __init__(self, resource: ResourceLike, unit: HostCPU,
+                 pcie) -> None:
+        super().__init__(resource, DataLocation.HOST, unit.config.cores)
+        self.unit = unit
+        self.pcie = pcie
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return self.unit.operation_latency(op, size_bytes, element_bits)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return self.unit.operation_energy(op, size_bytes, element_bits)
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> HostOperationTiming:
+        return self.unit.execute(now, op, size_bytes, element_bits)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.pcie.utilization(elapsed)

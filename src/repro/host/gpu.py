@@ -13,7 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.common import OpType, SimulationError
+from repro.common import DataLocation, OpType, ResourceLike, SimulationError
+from repro.core.backends import ComputeBackend
 from repro.host.config import HostGPUConfig
 
 _GPU_CYCLES: dict = {
@@ -95,3 +96,38 @@ class HostGPU:
         self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
         return GPUOperationTiming(start_ns=now, end_ns=now + latency + launch,
                                   compute_ns=compute_ns, memory_ns=memory_ns)
+
+
+class HostGPUBackend(ComputeBackend):
+    """Compute backend adapting :class:`HostGPU` (OSP baseline engine).
+
+    Like the host CPU, the GPU is modelled through the backend protocol but
+    excluded from the SSD offloader's candidate set; operands reach it over
+    PCIe, which is also its utilization snapshot.
+    """
+
+    offloadable = False
+
+    def __init__(self, resource: ResourceLike, unit: HostGPU,
+                 pcie) -> None:
+        super().__init__(resource, DataLocation.HOST)
+        self.unit = unit
+        self.pcie = pcie
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return self.unit.operation_latency(op, size_bytes, element_bits)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return self.unit.operation_energy(op, size_bytes, element_bits)
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> GPUOperationTiming:
+        return self.unit.execute(now, op, size_bytes, element_bits)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.pcie.utilization(elapsed)

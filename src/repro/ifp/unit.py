@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.common import OpType, SimulationError
+from repro.common import DataLocation, OpType, ResourceLike, SimulationError
+from repro.core.backends import ComputeBackend
 from repro.ifp.aresflash import AresFlashUnit
 from repro.ifp.flashcosmos import FlashCosmosUnit
 from repro.ifp.isa import ARES_FLASH_OPS, FLASH_COSMOS_OPS, IFP_SUPPORTED_OPS
@@ -123,3 +125,42 @@ class IFPUnit:
         self.energy_nj += energy
         return IFPOperationTiming(start_ns=now, end_ns=now + latency,
                                   pages=pages, waves=waves)
+
+
+class IFPBackend(ComputeBackend):
+    """Compute backend adapting :class:`IFPUnit`.
+
+    Operands live in flash (in-place computation); the utilization
+    snapshot is the flash-die pool, which in-flash operations share with
+    regular reads/programs.  ``channels`` is the platform's
+    :class:`~repro.ssd.flash_controller.FlashChannelSubsystem`.
+    """
+
+    def __init__(self, resource: ResourceLike, unit: IFPUnit,
+                 channels) -> None:
+        super().__init__(resource, DataLocation.FLASH,
+                         unit.die_parallelism)
+        self.unit = unit
+        self.channels = channels
+
+    @property
+    def native_chunk_bytes(self) -> Optional[int]:
+        return self.unit.page_bytes
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return self.unit.operation_latency(op, size_bytes, element_bits)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return self.unit.operation_energy(op, size_bytes, element_bits)
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> IFPOperationTiming:
+        return self.unit.execute(now, op, size_bytes, element_bits)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.channels.die_utilization(elapsed)

@@ -1,11 +1,12 @@
 """In-storage processing (ISP): SSD controller core compute model."""
 
-from repro.isp.core import EmbeddedCoreComplex, ISPOperationTiming
+from repro.isp.core import (EmbeddedCoreComplex, ISPBackend,
+                            ISPOperationTiming)
 from repro.isp.isa import (ISP_NATIVE_INSTRUCTION_COUNT, ISP_SUPPORTED_OPS,
                            cycles_per_beat, mnemonic)
 
 __all__ = [
-    "EmbeddedCoreComplex", "ISPOperationTiming",
+    "EmbeddedCoreComplex", "ISPBackend", "ISPOperationTiming",
     "ISP_NATIVE_INSTRUCTION_COUNT", "ISP_SUPPORTED_OPS", "cycles_per_beat",
     "mnemonic",
 ]

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.common import OpType, SimulationError
+from repro.common import DataLocation, OpType, ResourceLike, SimulationError
+from repro.core.backends import ComputeBackend
 from repro.isp.isa import ISP_SUPPORTED_OPS, cycles_per_beat
 from repro.ssd.config import ControllerConfig, SSDEnergyConfig
 
@@ -100,3 +102,44 @@ class EmbeddedCoreComplex:
         self.energy_nj += self.operation_energy(op, size_bytes, element_bits)
         return ISPOperationTiming(start_ns=now, end_ns=now + latency,
                                   beats=self.beats_for(size_bytes))
+
+
+class ISPBackend(ComputeBackend):
+    """Compute backend adapting :class:`EmbeddedCoreComplex`.
+
+    The default roster registers one backend for the whole compute-core
+    pool (queue parallelism = ``compute_cores``); a multi-core platform
+    configuration registers one backend per core (``isp[0..n)``), each with
+    its own single-slot queue, so per-core contention becomes visible to
+    the cost function.
+
+    ISP operands are staged in SSD DRAM (the controller SRAM only holds
+    working registers/tiles, Section 3.1 footnote 2), hence the home
+    location.
+    """
+
+    def __init__(self, resource: ResourceLike,
+                 unit: EmbeddedCoreComplex,
+                 queue_parallelism: Optional[int] = None) -> None:
+        if queue_parallelism is None:
+            queue_parallelism = unit.compute_cores
+        super().__init__(resource, DataLocation.SSD_DRAM, queue_parallelism)
+        self.unit = unit
+
+    def supports(self, op: OpType) -> bool:
+        return self.unit.supports(op)
+
+    def operation_latency(self, op: OpType, size_bytes: int,
+                          element_bits: int) -> float:
+        return self.unit.operation_latency(op, size_bytes, element_bits)
+
+    def operation_energy(self, op: OpType, size_bytes: int,
+                         element_bits: int) -> float:
+        return self.unit.operation_energy(op, size_bytes, element_bits)
+
+    def execute(self, now: float, op: OpType, size_bytes: int,
+                element_bits: int) -> ISPOperationTiming:
+        return self.unit.execute(now, op, size_bytes, element_bits)
+
+    def utilization(self, elapsed: float) -> float:
+        return self.queue.utilization(elapsed)

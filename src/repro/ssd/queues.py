@@ -17,9 +17,9 @@ is captured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
-from repro.common import Resource
+from repro.common import ResourceLike
 from repro.ssd.events import MultiServer, Reservation
 
 
@@ -47,7 +47,7 @@ class ExecutionQueue:
         compute cores for ISP).
     """
 
-    def __init__(self, resource: Resource, parallelism: int = 1) -> None:
+    def __init__(self, resource: ResourceLike, parallelism: int = 1) -> None:
         self.resource = resource
         self.servers = MultiServer(f"{resource.value}-queue", parallelism)
         #: Running counter of estimated execution latency of enqueued but
@@ -113,27 +113,40 @@ class ExecutionQueue:
 
 
 class ResourceQueueSet:
-    """The per-resource execution queues of one SSD."""
+    """A read-mostly view over the execution queues of many backends.
 
-    def __init__(self, isp_parallelism: int, pud_parallelism: int,
-                 ifp_parallelism: int) -> None:
-        self.queues: Dict[Resource, ExecutionQueue] = {
-            Resource.ISP: ExecutionQueue(Resource.ISP, isp_parallelism),
-            Resource.PUD: ExecutionQueue(Resource.PUD, pud_parallelism),
-            Resource.IFP: ExecutionQueue(Resource.IFP, ifp_parallelism),
-        }
+    The queues themselves are owned by the registered compute backends
+    (each :class:`~repro.core.backends.ComputeBackend` carries its own
+    queue); this set is the platform-level aggregate the feature collector
+    and utilization-based policies consume.  Construct it from any
+    ``identity -> queue`` mapping (the registry's
+    :meth:`~repro.core.backends.BackendRegistry.queues` in production,
+    hand-built dicts in tests).
+    """
 
-    def __getitem__(self, resource: Resource) -> ExecutionQueue:
+    def __init__(self,
+                 queues: Mapping[ResourceLike, ExecutionQueue]) -> None:
+        self.queues: Dict[ResourceLike, ExecutionQueue] = dict(queues)
+
+    @classmethod
+    def of(cls, *queues: ExecutionQueue) -> "ResourceQueueSet":
+        """Build a set from queues keyed by their own resource identity."""
+        return cls({queue.resource: queue for queue in queues})
+
+    def __getitem__(self, resource: ResourceLike) -> ExecutionQueue:
         return self.queues[resource]
 
-    def queueing_delays(self, now: float) -> Dict[Resource, float]:
+    def __contains__(self, resource: ResourceLike) -> bool:
+        return resource in self.queues
+
+    def queueing_delays(self, now: float) -> Dict[ResourceLike, float]:
         return {resource: queue.queueing_delay(now)
                 for resource, queue in self.queues.items()}
 
     def total_completed(self) -> int:
         return sum(len(queue.completed) for queue in self.queues.values())
 
-    def busiest(self, now: float) -> Optional[Resource]:
+    def busiest(self, now: float) -> Optional[ResourceLike]:
         delays = self.queueing_delays(now)
         if not delays:
             return None

@@ -55,13 +55,22 @@ class TestExecutionQueue:
 
 class TestResourceQueueSet:
     def queues(self) -> ResourceQueueSet:
-        return ResourceQueueSet(isp_parallelism=1, pud_parallelism=8,
-                                ifp_parallelism=16)
+        return ResourceQueueSet.of(
+            ExecutionQueue(Resource.ISP, parallelism=1),
+            ExecutionQueue(Resource.PUD, parallelism=8),
+            ExecutionQueue(Resource.IFP, parallelism=16))
 
     def test_all_three_resources_present(self):
         queues = self.queues()
         for resource in (Resource.ISP, Resource.PUD, Resource.IFP):
             assert queues[resource].resource is resource
+
+    def test_platform_queue_set_follows_backend_registry(self, platform):
+        # The platform's queue set is a view over the registry's queues:
+        # same identities, same queue objects.
+        assert set(platform.queues.queues) == set(platform.backends.ids())
+        for backend in platform.backends:
+            assert platform.queues[backend.resource] is backend.queue
 
     def test_queueing_delays_reports_all_resources(self):
         queues = self.queues()
