@@ -15,6 +15,10 @@ Two environment knobs control the scale/parallelism trade-off:
   benchmark without needing the env var).
 * ``REPRO_SWEEP_WORKERS`` -- sweep worker count (``1`` forces serial
   execution for reproducible CI timings; default ``os.cpu_count()``).
+* ``REPRO_BENCH_PLATFORM`` -- platform variant the whole suite runs on
+  (default ``default``; any name in
+  :data:`repro.experiments.PLATFORM_VARIANTS`, e.g. ``cxl-pud``, grows
+  the benchmarked roster without touching the benchmarks).
 
 The platform configuration is *not* restated here: it comes from
 :func:`repro.experiments.experiment_platform_config` via the
@@ -28,10 +32,13 @@ import os
 
 import pytest
 
-from repro.experiments import ExperimentConfig
+from repro.experiments import ExperimentConfig, platform_variant
 
 #: Workload scale used by all benchmarks (``REPRO_BENCH_SCALE`` overrides).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Platform variant the benchmarks run on (``REPRO_BENCH_PLATFORM``).
+BENCH_PLATFORM = os.environ.get("REPRO_BENCH_PLATFORM", "default")
 
 #: The paper's full Table 2 footprints, used by the ``slow`` benchmarks.
 FULL_SCALE = 1.0
@@ -39,7 +46,8 @@ FULL_SCALE = 1.0
 
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
-    return ExperimentConfig(workload_scale=BENCH_SCALE)
+    return ExperimentConfig(workload_scale=BENCH_SCALE,
+                            platform=platform_variant(BENCH_PLATFORM))
 
 
 @pytest.fixture(scope="session")

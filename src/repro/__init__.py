@@ -29,7 +29,7 @@ from repro.core.platform import (PlatformConfig, SSDPlatform,
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
 from repro.dram.cxl import CXLPuDConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BackendId", "DataLocation", "LatencyClass", "OpClass", "OpType",

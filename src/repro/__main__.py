@@ -1,0 +1,152 @@
+"""``python -m repro`` -- the unified experiment CLI.
+
+One entry point for the whole evaluation, replacing the per-figure
+``python -m repro.experiments.<module>`` invocations (which remain as
+deprecation shims that forward here):
+
+* ``python -m repro list`` -- registered experiments and platform variants;
+* ``python -m repro run <experiment>`` -- run one registry entry, with
+  ``--platform VARIANT`` (repeatable: sweeps the platform axis),
+  ``--scale S``, ``--serial`` / ``--workers N``, ``--no-cache`` /
+  ``--cache-dir DIR``, ``--json OUT`` and ``-v`` (sweep statistics).
+
+Everything the CLI does goes through the public library API
+(:func:`repro.experiments.run_experiment`), so scripted users get exactly
+the same behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's evaluation: run registered "
+                    "experiments over (workload x policy x platform) "
+                    "sweeps.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list", help="list registered experiments and platform variants")
+
+    run = commands.add_parser(
+        "run", help="run one registered experiment")
+    run.add_argument("experiment",
+                     help="registry name (see `python -m repro list`)")
+    run.add_argument("--platform", action="append", dest="platforms",
+                     metavar="VARIANT",
+                     help="platform variant to run on; repeat to sweep the "
+                          "platform axis (default: the experiment's own "
+                          "axis, usually just `default`)")
+    run.add_argument("--scale", type=float, default=None, metavar="S",
+                     help="workload scale (default: 0.25, the figure "
+                          "harnesses' scale; 1.0 = the paper's full "
+                          "Table 2 footprints)")
+    workers = run.add_mutually_exclusive_group()
+    workers.add_argument("--serial", action="store_true",
+                         help="run the sweep in-process (no worker pool)")
+    workers.add_argument("--workers", type=int, metavar="N",
+                         help="process-pool worker count (default: "
+                              "REPRO_SWEEP_WORKERS, then cpu count)")
+    cache = run.add_mutually_exclusive_group()
+    cache.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk sweep result cache")
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="sweep cache directory (default: "
+                            "REPRO_SWEEP_CACHE, then .sweep_cache/)")
+    run.add_argument("--json", dest="json_out", metavar="OUT",
+                     help="also write sections/headlines/stats as JSON")
+    run.add_argument("-v", "--verbose", action="store_true",
+                     help="print sweep statistics "
+                          "(pairs/executed/cache-hits/workers)")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import (EXPERIMENT_REGISTRY,
+                                   available_experiments,
+                                   available_platform_variants)
+    names = available_experiments()
+    width = max(len(name) for name in names)
+    print("Experiments (python -m repro run <name>):")
+    for name in names:
+        definition = EXPERIMENT_REGISTRY[name]
+        print(f"  {name.ljust(width)}  {definition.title} "
+              f"[{definition.axes_summary()}]")
+    print()
+    print("Platform variants (--platform, repeatable):")
+    print("  " + ", ".join(available_platform_variants()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import (ExperimentConfig, default_sweep_cache_dir,
+                                   experiment_def, platform_variant,
+                                   run_experiment, to_json)
+    try:
+        definition = experiment_def(args.experiment)
+        platforms = tuple(args.platforms) if args.platforms else None
+        for name in platforms or ():
+            platform_variant(name)  # fail fast with the known-variant list
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    config = (ExperimentConfig(workload_scale=args.scale)
+              if args.scale is not None else ExperimentConfig())
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or default_sweep_cache_dir()
+    try:
+        result = run_experiment(definition, config, platforms=platforms,
+                                parallel=not args.serial,
+                                workers=args.workers, cache_dir=cache_dir)
+    except ValueError as error:
+        # The library API's user-error channel (duplicate variants, bad
+        # worker counts, ...); internal failures still traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for name, text in result.formatted().items():
+        print(f"== {name} ==")
+        print(text)
+        print()
+    # An experiment that produces an empty table is always a bug (every
+    # builder renders at least one row per swept unit); fail the run so
+    # CI catches it instead of green-lighting "(no rows)" output.
+    empty = [name for name, rows in result.sections.items() if not rows]
+    if empty:
+        print(f"error: empty report section(s): {', '.join(empty)}",
+              file=sys.stderr)
+        return 1
+    for line in result.headline:
+        print(line)
+    if args.verbose:
+        for name, stats in result.stats:
+            print(f"[sweep {name}] {stats.summary()}")
+    if args.json_out:
+        to_json(result.to_jsonable(), path=args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+def run_module_shim(experiment: str) -> None:
+    """Back-compat entry for ``python -m repro.experiments.<module>``."""
+    print(f"note: `python -m repro.experiments.…` is deprecated; use "
+          f"`python -m repro run {experiment}`", file=sys.stderr)
+    sys.exit(main(["run", experiment]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,36 +1,68 @@
-"""Experiment harnesses: one module per table/figure of the evaluation."""
+"""Experiment harnesses: a declarative registry over one sweep engine.
 
-from repro.experiments.backend_ablation import (ablation_rosters,
+Every figure/table of the paper's evaluation is a registered
+:class:`~repro.experiments.registry.ExperimentDef` executed by the shared
+:func:`~repro.experiments.registry.run_experiment` engine over a
+(workloads x policies x platform variants) cross-product sweep.
+``python -m repro list`` / ``python -m repro run <name>`` is the CLI; the
+per-figure ``run_*`` functions remain the library API.
+"""
+
+from repro.experiments.platforms import (MULTICORE_ISP_CORES,
+                                         PLATFORM_VARIANTS,
+                                         available_platform_variants,
+                                         experiment_platform_config,
+                                         platform_variant,
+                                         register_platform_variant)
+from repro.experiments.registry import (EXPERIMENT_REGISTRY,
+                                        ExperimentContext, ExperimentDef,
+                                        ExperimentResult,
+                                        available_experiments,
+                                        experiment_def, per_platform,
+                                        register_experiment, run_experiment)
+from repro.experiments.backend_ablation import (ABLATION_PLATFORMS,
+                                                ablation_rosters,
                                                 run_backend_ablation)
 from repro.experiments.fig4_case_study import run_case_study
 from repro.experiments.fig5_motivation import run_motivation
-from repro.experiments.fig7_speedup_energy import Fig7Results, run_fig7
+from repro.experiments.fig7_speedup_energy import (Fig7Results,
+                                                   fig7_results_from_grid,
+                                                   run_fig7)
 from repro.experiments.fig8_tail_latency import run_tail_latency
 from repro.experiments.fig9_offload_decisions import run_offload_decisions
 from repro.experiments.fig10_timeline import phase_summary, run_timeline
 from repro.experiments.overheads import run_overheads
-from repro.experiments.report import (format_table, nested_to_rows,
-                                      run_report, to_json)
+from repro.experiments.report import (_register_report, format_table,
+                                      nested_to_rows, run_report, to_json)
 from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
                                       FIG7_POLICIES, SWEEP_CACHE_ENV,
                                       SWEEP_WORKERS_ENV, ExperimentConfig,
                                       ExperimentRunner, RunSpec, SweepCache,
                                       SweepStats, default_sweep_cache_dir,
                                       energy_table, execute_run_spec,
-                                      experiment_platform_config,
                                       resolve_sweep_workers, run_spec_key,
                                       speedup_table)
 from repro.experiments.table3_workloads import run_table3
 
+# The composite depends on the member definitions above being registered.
+_register_report()
+
 __all__ = [
-    "ablation_rosters", "run_backend_ablation",
-    "run_case_study", "run_motivation", "Fig7Results", "run_fig7",
+    "MULTICORE_ISP_CORES", "PLATFORM_VARIANTS",
+    "available_platform_variants", "experiment_platform_config",
+    "platform_variant", "register_platform_variant",
+    "EXPERIMENT_REGISTRY", "ExperimentContext", "ExperimentDef",
+    "ExperimentResult", "available_experiments", "experiment_def",
+    "per_platform", "register_experiment", "run_experiment",
+    "ABLATION_PLATFORMS", "ablation_rosters", "run_backend_ablation",
+    "run_case_study", "run_motivation", "Fig7Results",
+    "fig7_results_from_grid", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",
     "run_timeline", "run_overheads", "format_table", "nested_to_rows",
     "run_report", "to_json", "DEFAULT_SWEEP_CACHE_DIR", "FIG5_POLICIES",
     "FIG7_POLICIES", "SWEEP_CACHE_ENV", "SWEEP_WORKERS_ENV",
     "ExperimentConfig", "ExperimentRunner", "RunSpec", "SweepCache",
     "SweepStats", "default_sweep_cache_dir", "energy_table",
-    "execute_run_spec", "experiment_platform_config",
+    "execute_run_spec",
     "resolve_sweep_workers", "run_spec_key", "speedup_table", "run_table3",
 ]

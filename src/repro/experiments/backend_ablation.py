@@ -5,78 +5,75 @@ feature collector run unchanged while the platform's compute shape is
 grown purely through :class:`~repro.core.platform.PlatformConfig` --
 
 * ``default`` -- the paper's trio (one ISP backend, PuD-SSD, IFP);
-* ``isp-cores`` -- the ISP pool split into per-core backends
+* ``multicore-isp`` -- the ISP pool split into per-core backends
   ``isp[0..n)``, each with its own execution queue;
 * ``cxl-pud`` -- an opt-in CXL-attached PuD tier with its own
   latency/energy/bandwidth point.
 
-For every (workload, roster) pair the sweep reports total time and the
+Since the experiment-API redesign this is no longer a hand-rolled loop:
+the rosters are the registered *platform variants* of
+:mod:`repro.experiments.platforms`, and the ablation is a platform-axis
+sweep through the shared :func:`~repro.experiments.registry.run_experiment`
+engine -- sharded, cached and bit-identical to every other harness.  For
+every (workload, roster) unit the table reports total time and the
 per-family decision mix, plus the fraction landing on the grown backends,
 so the shift in the cost model's argmin is directly visible (the CXL tier
 absorbs compute-heavy work once the in-SSD PuD queue backs up; per-core
 ISP queues expose contention the pooled backend hid).
+
+Registered as the ``backend_ablation`` experiment
+(``python -m repro run backend_ablation``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
 from repro.common import Resource
-from repro.core.platform import PlatformConfig, SSDPlatform, backend_roster
-from repro.core.runtime import ConduitRuntime
-from repro.core.offload.policies import make_policy
-from repro.dram.cxl import CXLPuDConfig
+from repro.core.platform import PlatformConfig, backend_roster
+from repro.experiments.platforms import (MULTICORE_ISP_CORES,
+                                         experiment_platform_config,
+                                         platform_variant)
+from repro.experiments.registry import (ExperimentContext, ExperimentDef,
+                                        register_experiment, run_experiment)
 from repro.experiments.report import format_table
-from repro.experiments.runner import ExperimentConfig, \
-    experiment_platform_config
-from repro.workloads import Workload
+from repro.experiments.runner import ExperimentConfig
 
 #: Workloads whose operation mix exercises all three resource families.
 ABLATION_WORKLOADS = ("LLM Training", "LlaMA2 Inference", "XOR Filter")
 
-#: Per-core ISP backends registered by the ``isp-cores`` roster.
-ABLATION_ISP_CORES = 4
+#: Platform variants the ablation compares (the first is the baseline).
+ABLATION_PLATFORMS = ("default", "multicore-isp", "cxl-pud")
 
-
-def _grown_platform(base: PlatformConfig, *, isp_cores: int = 1,
-                    cxl_pud: Optional[CXLPuDConfig] = None
-                    ) -> PlatformConfig:
-    """The base experiment platform with a different backend roster."""
-    return dataclasses.replace(base, isp_cores=isp_cores, cxl_pud=cxl_pud)
+#: Per-core ISP backends registered by the multicore variant (back-compat
+#: alias; the variant itself lives in :mod:`repro.experiments.platforms`).
+ABLATION_ISP_CORES = MULTICORE_ISP_CORES
 
 
 def ablation_rosters(base: Optional[PlatformConfig] = None
                      ) -> Dict[str, PlatformConfig]:
-    """The platform shapes the ablation compares, keyed by roster name."""
+    """The platform shapes the ablation compares, keyed by variant name."""
     base = base or experiment_platform_config()
-    return {
-        "default": _grown_platform(base),
-        f"isp-cores[{ABLATION_ISP_CORES}]": _grown_platform(
-            base, isp_cores=ABLATION_ISP_CORES),
-        "cxl-pud": _grown_platform(base, cxl_pud=CXLPuDConfig()),
-    }
+    return {name: platform_variant(name, base=base)
+            for name in ABLATION_PLATFORMS}
 
 
-def run_backend_ablation(config: Optional[ExperimentConfig] = None, *,
-                         policy: str = "Conduit",
-                         workload_names: Sequence[str] = ABLATION_WORKLOADS
-                         ) -> List[Dict[str, object]]:
-    """One row per (workload, roster) with timing and decision mix."""
-    config = config or ExperimentConfig()
-    workloads: List[Workload] = [w for w in config.workloads()
-                                 if w.name in set(workload_names)]
+def _sections(ctx: ExperimentContext):
+    policy = ctx.definition.policies[0]
+    # Normalize against the ``default`` roster when it is part of the run;
+    # under a --platform override that excludes it, fall back to the first
+    # swept variant (and label the column accordingly).
+    baseline_name = ("default" if "default" in ctx.platform_names
+                     else ctx.platform_names[0])
+    speedup_column = f"speedup_vs_{baseline_name}"
     rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        program, _ = workload.vector_program()
-        baseline_ns: Optional[float] = None
-        for roster_name, platform_config in ablation_rosters(
-                config.platform).items():
-            platform = SSDPlatform(platform_config)
-            result = ConduitRuntime(platform, config.runtime).execute(
-                program, make_policy(policy), workload.name)
-            if baseline_ns is None:
-                baseline_ns = result.total_time_ns
+    for workload in ctx.workloads:
+        baseline_ns = ctx.grid[(workload.name, policy,
+                                baseline_name)].total_time_ns
+        for roster_name in ctx.platform_names:
+            result = ctx.grid[(workload.name, policy, roster_name)]
             kinds = result.kind_fractions()
             fractions = result.ssd_resource_fractions()
             grown = sum(value for resource, value in fractions.items()
@@ -85,15 +82,44 @@ def run_backend_ablation(config: Optional[ExperimentConfig] = None, *,
             rows.append({
                 "workload": workload.name,
                 "roster": roster_name,
-                "backends": len(backend_roster(platform_config)),
+                "backends": len(backend_roster(
+                    ctx.platforms[roster_name])),
                 "time_ms": result.total_time_ns / 1e6,
-                "speedup_vs_default": baseline_ns / result.total_time_ns,
+                speedup_column: baseline_ns / result.total_time_ns,
                 "isp": kinds.get(Resource.ISP, 0.0),
                 "pud_ssd": kinds.get(Resource.PUD, 0.0),
                 "ifp": kinds.get(Resource.IFP, 0.0),
                 "grown_backends": grown,
             })
-    return rows
+    return OrderedDict(ablation=rows)
+
+
+ABLATION_DEF = register_experiment(ExperimentDef(
+    name="backend_ablation",
+    title="Backend-roster ablation -- config-grown platforms, one cost "
+          "function",
+    description="Conduit on the default / multicore-isp / cxl-pud platform "
+                "variants: timing and per-family decision mix per roster.",
+    policies=("Conduit",),
+    workloads=ABLATION_WORKLOADS,
+    default_platforms=ABLATION_PLATFORMS,
+    build=_sections,
+), overwrite=True)
+
+
+def run_backend_ablation(config: Optional[ExperimentConfig] = None, *,
+                         policy: str = "Conduit",
+                         workload_names: Sequence[str] = ABLATION_WORKLOADS,
+                         parallel: bool = False,
+                         workers: Optional[int] = None,
+                         cache_dir: Optional[str] = None
+                         ) -> List[Dict[str, object]]:
+    """One row per (workload, roster) with timing and decision mix."""
+    definition = dataclasses.replace(ABLATION_DEF, policies=(policy,),
+                                     workloads=tuple(workload_names))
+    result = run_experiment(definition, config, parallel=parallel,
+                            workers=workers, cache_dir=cache_dir)
+    return result.sections["ablation"]
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
@@ -105,5 +131,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return text
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run …
+    from repro.__main__ import run_module_shim
+    run_module_shim("backend_ablation")

@@ -8,15 +8,19 @@ resource chosen per execution phase.  The paper's observations: BW switches
 resources frequently, DM pins addition and multiplication phases to flash,
 and Conduit keeps locality-friendly additions in flash while running costly
 multiplications in DRAM and control-intensive work on the controller cores.
+
+Registered as the ``fig10`` experiment (``python -m repro run fig10``).
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from typing import Dict, List, Optional
 
+from repro.experiments.registry import (ExperimentDef, per_platform,
+                                        register_experiment, run_experiment)
 from repro.experiments.report import format_table
-from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+from repro.experiments.runner import (ExperimentConfig,
                                       default_sweep_cache_dir)
 from repro.workloads import LlamaInferenceWorkload
 
@@ -25,20 +29,39 @@ TIMELINE_POLICIES = ("BW-Offloading", "DM-Offloading", "Conduit")
 TIMELINE_INSTRUCTIONS = 12_000
 
 
+def _timelines_from_grid(grid, instructions: int
+                         ) -> Dict[str, List[Dict[str, object]]]:
+    return {policy: grid[(LlamaInferenceWorkload.name, policy)].timeline(
+                limit=instructions)
+            for policy in TIMELINE_POLICIES}
+
+
+def _sections(ctx, platform_name, grid):
+    timelines = _timelines_from_grid(grid, TIMELINE_INSTRUCTIONS)
+    return OrderedDict(fig10=phase_summary(timelines))
+
+
+FIG10_DEF = register_experiment(ExperimentDef(
+    name="fig10",
+    title="Fig. 10 -- instruction-to-resource mapping phases (LLaMA2)",
+    description="Dominant resource / operation per execution phase for "
+                "BW-Offloading, DM-Offloading and Conduit.",
+    policies=TIMELINE_POLICIES,
+    workloads=(LlamaInferenceWorkload.name,),
+    build=per_platform(_sections),
+), overwrite=True)
+
+
 def run_timeline(config: Optional[ExperimentConfig] = None,
                  instructions: int = TIMELINE_INSTRUCTIONS, *,
                  parallel: bool = True, workers: Optional[int] = None,
                  cache_dir: Optional[str] = None
                  ) -> Dict[str, List[Dict[str, object]]]:
     """Return per-policy instruction timelines (index, op, resource)."""
-    config = config or ExperimentConfig()
-    runner = ExperimentRunner(config)
-    workload = LlamaInferenceWorkload(scale=config.workload_scale)
-    results = runner.sweep(TIMELINE_POLICIES, [workload], parallel=parallel,
-                           workers=workers, cache_dir=cache_dir)
-    return {policy: results[(workload.name, policy)].timeline(
-                limit=instructions)
-            for policy in TIMELINE_POLICIES}
+    result = run_experiment(FIG10_DEF, config, parallel=parallel,
+                            workers=workers, cache_dir=cache_dir)
+    return _timelines_from_grid(result.platform_grid("default"),
+                                instructions)
 
 
 def phase_summary(timelines: Dict[str, List[Dict[str, object]]],
@@ -78,5 +101,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return text
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run fig10
+    from repro.__main__ import run_module_shim
+    run_module_shim("fig10")

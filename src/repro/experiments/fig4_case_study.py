@@ -11,20 +11,24 @@ movement, SSD-internal data movement, flash read).
 All four execution models resolve through the policy registry (OSP is the
 host-CPU baseline, IFP is Ares-Flash, the naive combination is the
 registered ``IFP+ISP`` policy), so the whole case study is a single
-parallel-shardable sweep.
+parallel-shardable sweep.  Registered as the ``fig4`` experiment
+(``python -m repro run fig4``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.core.metrics import ExecutionResult
 # Re-exported for backwards compatibility: the naive policy used to be
 # defined in this module before it joined the policy registry.
 from repro.core.offload.policies import NaiveIFPISPPolicy  # noqa: F401
-from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.registry import (ExperimentDef, per_platform,
+                                        register_experiment, run_experiment)
 from repro.experiments.report import format_table
-from repro.workloads import (Heat3DWorkload, LLMTrainingWorkload, Workload,
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads import (Heat3DWorkload, LLMTrainingWorkload,
                              XORFilterWorkload)
 
 #: Representative workload per Fig. 4 category.
@@ -61,28 +65,40 @@ def _breakdown_row(category: str, model: str, result: ExecutionResult,
     }
 
 
+def _rows_from_grid(grid) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for category, workload_cls in CATEGORY_WORKLOADS.items():
+        osp = grid[(workload_cls.name, MODEL_POLICIES["OSP"])]
+        for model in EXECUTION_MODELS:
+            result = grid[(workload_cls.name, MODEL_POLICIES[model])]
+            rows.append(_breakdown_row(category, model, result,
+                                       osp.total_time_ns))
+    return rows
+
+
+def _sections(ctx, platform_name, grid):
+    return OrderedDict(fig4=_rows_from_grid(grid))
+
+
+FIG4_DEF = register_experiment(ExperimentDef(
+    name="fig4",
+    title="Fig. 4 -- execution time normalized to OSP, with breakdown",
+    description="Case study: OSP / ISP / IFP / naive IFP+ISP over an "
+                "I/O-intensive, a compute-intensive and a mixed workload.",
+    policies=tuple(MODEL_POLICIES.values()),
+    workloads=tuple(cls.name for cls in CATEGORY_WORKLOADS.values()),
+    build=per_platform(_sections),
+), overwrite=True)
+
+
 def run_case_study(config: Optional[ExperimentConfig] = None, *,
                    parallel: bool = True, workers: Optional[int] = None,
                    cache_dir: Optional[str] = None
                    ) -> List[Dict[str, object]]:
     """Run the Fig. 4 case study; returns one row per (category, model)."""
-    config = config or ExperimentConfig()
-    runner = ExperimentRunner(config)
-    workloads: List[Workload] = [
-        workload_cls(scale=config.workload_scale)
-        for workload_cls in CATEGORY_WORKLOADS.values()
-    ]
-    results = runner.sweep(tuple(MODEL_POLICIES.values()), workloads,
-                           parallel=parallel, workers=workers,
-                           cache_dir=cache_dir)
-    rows: List[Dict[str, object]] = []
-    for category, workload in zip(CATEGORY_WORKLOADS, workloads):
-        osp = results[(workload.name, MODEL_POLICIES["OSP"])]
-        for model in EXECUTION_MODELS:
-            result = results[(workload.name, MODEL_POLICIES[model])]
-            rows.append(_breakdown_row(category, model, result,
-                                       osp.total_time_ns))
-    return rows
+    result = run_experiment(FIG4_DEF, config, parallel=parallel,
+                            workers=workers, cache_dir=cache_dir)
+    return _rows_from_grid(result.platform_grid("default"))
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
@@ -94,5 +110,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return table
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run fig4
+    from repro.__main__ import run_module_shim
+    run_module_shim("fig4")

@@ -8,17 +8,24 @@ Ideal -- over the six workloads and reports:
   (the paper reports Conduit at 4.2x CPU, 1.8x DM-Offloading, 62% of Ideal);
 * Fig. 7(b): energy normalized to CPU, split into data movement and
   computation (Conduit reduces energy by 46.8% versus DM-Offloading).
+
+Registered as the ``fig7`` experiment; ``python -m repro run fig7``
+(optionally with ``--platform`` variants) is the CLI entry point, and
+:func:`run_fig7` remains the library API.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.metrics import ExecutionResult
+from repro.experiments.registry import (ExperimentContext, ExperimentDef,
+                                        per_platform, register_experiment,
+                                        run_experiment)
 from repro.experiments.report import format_table, nested_to_rows
 from repro.experiments.runner import (FIG7_POLICIES, ExperimentConfig,
-                                      ExperimentRunner,
                                       default_sweep_cache_dir, energy_table,
                                       speedup_table)
 
@@ -41,7 +48,7 @@ class Fig7Results:
     def conduit_energy_reduction_vs(self, policy: str) -> float:
         """Average energy reduction of Conduit versus another policy."""
         reductions = []
-        for workload, row in self.energy.items():
+        for row in self.energy.values():
             if policy not in row or "Conduit" not in row:
                 continue
             other = row[policy]["total"]
@@ -53,20 +60,72 @@ class Fig7Results:
         return sum(reductions) / len(reductions)
 
 
-def run_fig7(config: Optional[ExperimentConfig] = None, *,
-             parallel: bool = True, workers: Optional[int] = None,
-             cache_dir: Optional[str] = None) -> Fig7Results:
-    """Run the full Fig. 7 sweep (sharded over a process pool by default)."""
-    config = config or ExperimentConfig()
-    runner = ExperimentRunner(config)
-    results = runner.sweep(FIG7_POLICIES, parallel=parallel, workers=workers,
-                           cache_dir=cache_dir)
+def fig7_results_from_grid(grid: Dict[Tuple[str, str], ExecutionResult]
+                           ) -> Fig7Results:
+    """Assemble both Fig. 7 panels from one (workload, policy) grid."""
     policies = [policy for policy in FIG7_POLICIES if policy != "CPU"]
     return Fig7Results(
-        speedups=speedup_table(results, policies),
-        energy=energy_table(results, FIG7_POLICIES),
-        raw=results,
+        speedups=speedup_table(grid, policies),
+        energy=energy_table(grid, FIG7_POLICIES),
+        raw=grid,
     )
+
+
+def _energy_rows(energy: Dict[str, Dict[str, Dict[str, float]]]
+                 ) -> List[Dict[str, object]]:
+    return [{"workload": workload, "policy": policy, **parts}
+            for workload, row in energy.items()
+            for policy, parts in row.items()]
+
+
+def _sections(ctx: ExperimentContext, platform_name: str, grid):
+    results = fig7_results_from_grid(grid)
+    return OrderedDict(
+        fig7a=nested_to_rows(results.speedups),
+        fig7b=_energy_rows(results.energy),
+    )
+
+
+def _headline(ctx: ExperimentContext) -> List[str]:
+    lines = []
+    for name in ctx.platform_names:
+        results = fig7_results_from_grid(ctx.platform_grid(name))
+        prefix = f"[{name}] " if len(ctx.platform_names) > 1 else ""
+        lines.append(
+            f"{prefix}Conduit vs DM-Offloading speedup: "
+            f"{results.conduit_vs('DM-Offloading'):.2f}x (paper: 1.8x); "
+            "energy reduction: "
+            f"{100 * results.conduit_energy_reduction_vs('DM-Offloading'):.1f}%"
+            " (paper: 46.8%)")
+    return lines
+
+
+FIG7_DEF = register_experiment(ExperimentDef(
+    name="fig7",
+    title="Fig. 7 -- speedup over CPU (a) and normalized energy (b)",
+    description="Full policy set over the six workloads: the paper's "
+                "headline performance and energy comparison.",
+    policies=FIG7_POLICIES,
+    build=per_platform(_sections),
+    headline=_headline,
+    paper_refs=("Conduit: 4.2x CPU, 1.8x DM-Offloading, 62% of Ideal",
+                "energy: -46.8% vs DM-Offloading"),
+), overwrite=True)
+
+
+def run_fig7(config: Optional[ExperimentConfig] = None, *,
+             parallel: bool = True, workers: Optional[int] = None,
+             cache_dir: Optional[str] = None,
+             platform: str = "default") -> Fig7Results:
+    """Run the full Fig. 7 sweep (sharded over a process pool by default).
+
+    ``platform`` selects a registered platform variant; the default is the
+    paper's roster.
+    """
+    result = run_experiment(FIG7_DEF, config, platforms=(platform,),
+                            parallel=parallel, workers=workers,
+                            cache_dir=cache_dir)
+    return fig7_results_from_grid(result.platform_grid(platform))
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
@@ -74,12 +133,7 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     speedup_text = format_table(nested_to_rows(results.speedups))
     print("Fig. 7(a) -- speedup over CPU (higher is better)")
     print(speedup_text)
-    energy_rows = []
-    for workload, row in results.energy.items():
-        for policy, parts in row.items():
-            energy_rows.append({"workload": workload, "policy": policy,
-                                **parts})
-    energy_text = format_table(energy_rows)
+    energy_text = format_table(_energy_rows(results.energy))
     print("\nFig. 7(b) -- energy normalized to CPU (lower is better)")
     print(energy_text)
     print("\nConduit vs DM-Offloading speedup: "
@@ -90,5 +144,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return speedup_text + "\n" + energy_text
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run fig7
+    from repro.__main__ import run_module_shim
+    run_module_shim("fig7")

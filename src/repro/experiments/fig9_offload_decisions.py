@@ -6,18 +6,55 @@ paper's headline observations: Conduit's distribution closely tracks the
 Ideal policy; memory-bound workloads (AES, XOR Filter) use ISP very
 sparingly; compute-intensive workloads spread across multiple resources; and
 both Conduit and Ideal avoid IFP for multiplication-heavy phases (LLaMA2).
+
+Registered as the ``fig9`` experiment (``python -m repro run fig9``).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.common import Resource
+from repro.experiments.registry import (ExperimentContext, ExperimentDef,
+                                        per_platform, register_experiment,
+                                        run_experiment)
 from repro.experiments.report import format_table
-from repro.experiments.runner import (ExperimentConfig, ExperimentRunner,
+from repro.experiments.runner import (ExperimentConfig,
                                       default_sweep_cache_dir)
 
 DECISION_POLICIES = ("BW-Offloading", "DM-Offloading", "Conduit", "Ideal")
+
+
+def _rows_from_grid(grid, workload_names) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for workload_name in workload_names:
+        for policy in DECISION_POLICIES:
+            fractions = grid[(workload_name,
+                              policy)].ssd_resource_fractions()
+            rows.append({
+                "workload": workload_name,
+                "policy": policy,
+                "isp": fractions.get(Resource.ISP, 0.0),
+                "pud_ssd": fractions.get(Resource.PUD, 0.0),
+                "ifp": fractions.get(Resource.IFP, 0.0),
+            })
+    return rows
+
+
+def _sections(ctx: ExperimentContext, platform_name, grid):
+    names = [workload.name for workload in ctx.workloads]
+    return OrderedDict(fig9=_rows_from_grid(grid, names))
+
+
+FIG9_DEF = register_experiment(ExperimentDef(
+    name="fig9",
+    title="Fig. 9 -- fraction of instructions per computation resource",
+    description="Per-policy resource mix (ISP / PuD-SSD / IFP) across the "
+                "six workloads.",
+    policies=DECISION_POLICIES,
+    build=per_platform(_sections),
+), overwrite=True)
 
 
 def run_offload_decisions(config: Optional[ExperimentConfig] = None, *,
@@ -27,23 +64,10 @@ def run_offload_decisions(config: Optional[ExperimentConfig] = None, *,
                           ) -> List[Dict[str, object]]:
     """One row per (workload, policy) with per-resource fractions."""
     config = config or ExperimentConfig()
-    runner = ExperimentRunner(config)
-    workloads = config.workloads()
-    results = runner.sweep(DECISION_POLICIES, workloads, parallel=parallel,
-                           workers=workers, cache_dir=cache_dir)
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        for policy in DECISION_POLICIES:
-            fractions = results[(workload.name,
-                                 policy)].ssd_resource_fractions()
-            rows.append({
-                "workload": workload.name,
-                "policy": policy,
-                "isp": fractions.get(Resource.ISP, 0.0),
-                "pud_ssd": fractions.get(Resource.PUD, 0.0),
-                "ifp": fractions.get(Resource.IFP, 0.0),
-            })
-    return rows
+    result = run_experiment(FIG9_DEF, config, parallel=parallel,
+                            workers=workers, cache_dir=cache_dir)
+    names = [workload.name for workload in config.workloads()]
+    return _rows_from_grid(result.platform_grid("default"), names)
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
@@ -54,5 +78,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return text
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run fig9
+    from repro.__main__ import run_module_shim
+    run_module_shim("fig9")

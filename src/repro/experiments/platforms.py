@@ -1,0 +1,114 @@
+"""Named platform variants: the sweeps' third axis.
+
+The paper evaluates one platform shape, but the reproduction's backend
+registry (PR 3) grows the platform's compute roster purely through
+:class:`~repro.core.platform.PlatformConfig` knobs.  This module names
+those shapes so experiment sweeps can cross them with (workload, policy)
+pairs the same way gem5 configs name system shapes:
+
+* ``default`` -- the paper's trio (pooled ISP, PuD-SSD, IFP);
+* ``multicore-isp`` -- the ISP pool split into per-core backends
+  ``isp[0..4)``, each with its own execution queue;
+* ``cxl-pud`` -- the opt-in CXL-attached PuD tier enabled.
+
+A variant is a *factory* from a base configuration to a grown one, so the
+same variant applies to the full-size experiment platform and to the tiny
+platforms the tests use.  User code registers additional variants with
+:func:`register_platform_variant`; every registered name is immediately
+accepted by ``ExperimentRunner.sweep(platforms=...)``, every experiment
+definition and the ``python -m repro run ... --platform NAME`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common import MIB
+from repro.core.platform import PlatformConfig
+from repro.dram.cxl import CXLPuDConfig
+
+#: A variant maps a base platform configuration to the variant's shape.
+PlatformFactory = Callable[[PlatformConfig], PlatformConfig]
+
+#: Per-core ISP backends registered by the ``multicore-isp`` variant.
+MULTICORE_ISP_CORES = 4
+
+#: Registry of named platform variants (registration order is preserved
+#: and is the order ``python -m repro list`` shows them in).
+PLATFORM_VARIANTS: Dict[str, PlatformFactory] = {}
+
+
+def experiment_platform_config() -> PlatformConfig:
+    """The base platform configuration used by the experiment harnesses.
+
+    Capacity windows are scaled down together with the workload footprints
+    so the paper's regime (dataset >> SSD DRAM, dataset >> host cache)
+    holds while a full sweep stays fast.  This is the single source of
+    truth: the figure harnesses, the golden tests and
+    ``benchmarks/conftest.py`` all build their ``ExperimentConfig`` from
+    this factory (via the ``platform`` field default), so they cannot
+    drift apart.  Platform variants grow *from* this base (or from any
+    explicitly supplied one).
+    """
+    return PlatformConfig(
+        dram_compute_window_bytes=2 * MIB,
+        sram_window_bytes=512 * 1024,
+        host_cache_bytes=2 * MIB,
+    )
+
+
+def register_platform_variant(name: str, factory: PlatformFactory, *,
+                              overwrite: bool = False) -> PlatformFactory:
+    """Register a named platform variant for use as a sweep axis value.
+
+    Returns the factory so the call can be used as a decorator helper.
+    Re-registering an existing name requires ``overwrite=True`` so typos
+    cannot silently shadow a built-in shape.
+    """
+    if not overwrite and name in PLATFORM_VARIANTS:
+        raise ValueError(
+            f"platform variant {name!r} is already registered; pass "
+            "overwrite=True to replace it")
+    PLATFORM_VARIANTS[name] = factory
+    return factory
+
+
+def available_platform_variants() -> Tuple[str, ...]:
+    """Registered variant names, in registration order."""
+    return tuple(PLATFORM_VARIANTS)
+
+
+def platform_variant(name: str,
+                     base: Optional[PlatformConfig] = None) -> PlatformConfig:
+    """Resolve a variant name into a concrete :class:`PlatformConfig`.
+
+    ``base`` defaults to :func:`experiment_platform_config`; tests and
+    examples pass their own (e.g. a tiny-SSD configuration) and still get
+    the variant's roster growth applied on top.
+    """
+    try:
+        factory = PLATFORM_VARIANTS[name]
+    except KeyError:
+        known = ", ".join(PLATFORM_VARIANTS)
+        raise ValueError(
+            f"unknown platform variant {name!r}; known variants: {known}"
+        ) from None
+    return factory(base if base is not None else experiment_platform_config())
+
+
+def _default_variant(base: PlatformConfig) -> PlatformConfig:
+    return base
+
+
+def _multicore_isp_variant(base: PlatformConfig) -> PlatformConfig:
+    return dataclasses.replace(base, isp_cores=MULTICORE_ISP_CORES)
+
+
+def _cxl_pud_variant(base: PlatformConfig) -> PlatformConfig:
+    return dataclasses.replace(base, cxl_pud=CXLPuDConfig())
+
+
+register_platform_variant("default", _default_variant)
+register_platform_variant("multicore-isp", _multicore_isp_variant)
+register_platform_variant("cxl-pud", _cxl_pud_variant)

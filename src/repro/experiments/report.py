@@ -1,11 +1,12 @@
 """Plain-text and JSON reporting helpers plus the full-report driver.
 
 The benchmark targets print the same rows/series the paper's figures show;
-these helpers keep that formatting in one place.  :func:`run_report`
-regenerates *every* figure/table of the evaluation in one call, sharing the
-parallel sweep engine and the on-disk sweep cache, so a full paper report
-costs one sharded sweep per figure the first time and almost nothing on
-repeats.
+these helpers keep that formatting in one place.  The ``report``
+experiment is a *composite* registry entry: its members (Table 3,
+Figs. 4-10, overheads) run in the paper's order against one shared result
+cache, so a full paper report costs one sharded sweep per figure the first
+time and almost nothing on repeats.  :func:`run_report` is the library
+API; ``python -m repro run report`` is the CLI entry point.
 """
 
 from __future__ import annotations
@@ -62,6 +63,28 @@ def to_json(data: object, path: Optional[str] = None, indent: int = 2) -> str:
     return text
 
 
+def _register_report() -> None:
+    """Register the composite ``report`` experiment.
+
+    Deferred into a function (called from the package ``__init__`` after
+    the member modules are imported) purely to keep this module free of
+    import cycles: the registry's formatting hooks import *this* module.
+    """
+    from repro.experiments.registry import (EXPERIMENT_REGISTRY,
+                                            ExperimentDef,
+                                            register_experiment)
+    if "report" in EXPERIMENT_REGISTRY:
+        return
+    register_experiment(ExperimentDef(
+        name="report",
+        title="Full evaluation report (Table 3, Figs. 4-10, overheads)",
+        description="Every figure/table of the evaluation section, sharing "
+                    "one result cache across the member sweeps.",
+        composite=("table3", "fig4", "fig5", "fig7", "fig8", "fig9",
+                   "fig10", "overheads"),
+    ))
+
+
 def run_report(config=None, *, parallel: bool = True,
                workers: Optional[int] = None,
                cache_dir: Optional[str] = None) -> Dict[str, str]:
@@ -73,46 +96,10 @@ def run_report(config=None, *, parallel: bool = True,
     (workload, policy) pairs common to several figures (e.g. the Fig. 5
     baselines are a subset of Fig. 7's) are simulated once.
     """
-    if cache_dir is None:
-        import tempfile
-        with tempfile.TemporaryDirectory(prefix="sweep_cache_") as shared:
-            return run_report(config, parallel=parallel, workers=workers,
-                              cache_dir=shared)
-
-    # Imported here: the figure harnesses import this module's formatters.
-    from repro.experiments.fig4_case_study import run_case_study
-    from repro.experiments.fig5_motivation import run_motivation
-    from repro.experiments.fig7_speedup_energy import run_fig7
-    from repro.experiments.fig8_tail_latency import run_tail_latency
-    from repro.experiments.fig9_offload_decisions import run_offload_decisions
-    from repro.experiments.fig10_timeline import phase_summary, run_timeline
-    from repro.experiments.overheads import run_overheads
-    from repro.experiments.table3_workloads import run_table3
-
-    knobs = dict(parallel=parallel, workers=workers, cache_dir=cache_dir)
-    sections: Dict[str, str] = {}
-    sections["table3"] = format_table(
-        run_table3(config, parallel=parallel, workers=workers))
-    sections["fig4"] = format_table(run_case_study(config, **knobs))
-    sections["fig5"] = format_table(nested_to_rows(
-        run_motivation(config, **knobs)))
-    fig7 = run_fig7(config, **knobs)
-    sections["fig7a"] = format_table(nested_to_rows(fig7.speedups))
-    energy_rows = [
-        {"workload": workload, "policy": policy, **parts}
-        for workload, row in fig7.energy.items()
-        for policy, parts in row.items()
-    ]
-    sections["fig7b"] = format_table(energy_rows)
-    sections["fig8"] = format_table(run_tail_latency(config, **knobs))
-    sections["fig9"] = format_table(run_offload_decisions(config, **knobs))
-    sections["fig10"] = format_table(phase_summary(
-        run_timeline(config, **knobs)))
-    overheads = run_overheads(config, **knobs)
-    sections["overheads"] = format_table([
-        {"metric": key, "value": value} for key, value in overheads.items()
-    ])
-    return sections
+    from repro.experiments.registry import run_experiment
+    result = run_experiment("report", config, parallel=parallel,
+                            workers=workers, cache_dir=cache_dir)
+    return dict(result.formatted())
 
 
 def main(config=None) -> Dict[str, str]:
@@ -125,5 +112,6 @@ def main(config=None) -> Dict[str, str]:
     return sections
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run report
+    from repro.__main__ import run_module_shim
+    run_module_shim("report")

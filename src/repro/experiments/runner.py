@@ -44,13 +44,15 @@ from dataclasses import dataclass, field, fields, is_dataclass
 from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
                     Tuple)
 
-from repro.common import MIB, Resource
+from repro.common import Resource
 from repro.core.compiler.ir import VectorProgram
 from repro.core.metrics import ExecutionResult, geometric_mean, speedup
 from repro.core.offload.policies import OffloadingPolicy, make_policy
 from repro.core.platform import (PlatformConfig, SSDPlatform,
                                  backend_roster)
 from repro.core.runtime import ConduitRuntime, HostRuntime, RuntimeConfig
+from repro.experiments.platforms import (experiment_platform_config,
+                                         platform_variant)
 from repro.workloads import Workload, default_workloads, workload_by_name
 
 #: Names of the host (OSP) baselines; they run through :class:`HostRuntime`.
@@ -81,23 +83,6 @@ DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
 #: Version 2: the compute-backend registry refactor (dispatch, tie-breaks
 #: and candidate discovery now flow through the platform's backend roster).
 SWEEP_CACHE_VERSION = 2
-
-
-def experiment_platform_config() -> PlatformConfig:
-    """The platform configuration used by the experiment harnesses.
-
-    Capacity windows are scaled down together with the workload footprints
-    so the paper's regime (dataset >> SSD DRAM, dataset >> host cache) holds
-    while a full sweep stays fast.  This is the single source of truth: the
-    figure harnesses, the golden tests and ``benchmarks/conftest.py`` all
-    build their :class:`ExperimentConfig` from this factory (via the
-    ``platform`` field default), so they cannot drift apart.
-    """
-    return PlatformConfig(
-        dram_compute_window_bytes=2 * MIB,
-        sram_window_bytes=512 * 1024,
-        host_cache_bytes=2 * MIB,
-    )
 
 
 @dataclass
@@ -137,6 +122,11 @@ class RunSpec:
     platform: PlatformConfig = field(
         default_factory=experiment_platform_config)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Display label of the platform-axis variant this spec belongs to
+    #: (see :mod:`repro.experiments.platforms`).  A *label only*: the
+    #: semantics live entirely in ``platform``, so the cache key excludes
+    #: it and equal configurations share entries across variant names.
+    platform_name: str = "default"
 
 
 def _canonical(value: object) -> object:
@@ -172,7 +162,13 @@ def run_spec_key(spec: RunSpec) -> str:
     roster knob escapes the config tree.  It is what shards the sweep
     deterministically and keys the on-disk cache.
     """
-    payload = {"version": SWEEP_CACHE_VERSION, "spec": _canonical(spec),
+    encoded = _canonical(spec)
+    # The variant label is presentation, not semantics: two variants
+    # resolving to the same PlatformConfig must share cache entries (and
+    # pre-label caches stay valid).  The roster fold below already keys
+    # every shape-changing knob.
+    encoded.pop("platform_name", None)
+    payload = {"version": SWEEP_CACHE_VERSION, "spec": encoded,
                "backends": list(backend_roster(spec.platform))}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -294,10 +290,15 @@ class SweepCache:
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_path, self._path(run_spec_key(spec)))
         except OSError:
+            # A failed disk write only loses the cache entry, never the
+            # sweep; anything else (e.g. an unpicklable result) is a
+            # programming error and propagates after the cleanup below.
+            pass
+        finally:
             try:
                 os.unlink(temp_path)
             except OSError:
-                pass
+                pass  # already renamed into place (or never created)
 
 
 @dataclass
@@ -309,6 +310,14 @@ class SweepStats:
     cache_hits: int = 0
     workers: int = 1
     parallel: bool = False
+    platforms: int = 1
+
+    def summary(self) -> str:
+        """One-line human-readable form (``repro run -v`` prints this)."""
+        return (f"pairs={self.pairs} executed={self.executed} "
+                f"cache_hits={self.cache_hits} workers={self.workers} "
+                f"platforms={self.platforms} "
+                f"mode={'parallel' if self.parallel else 'serial'}")
 
 
 class ExperimentRunner:
@@ -329,11 +338,21 @@ class ExperimentRunner:
 
     # -- Run specifications --------------------------------------------------------
 
-    def spec_for(self, workload: Workload, policy_name: str) -> RunSpec:
-        """The :class:`RunSpec` describing one (workload, policy) pair."""
+    def spec_for(self, workload: Workload, policy_name: str,
+                 platform: Optional[PlatformConfig] = None,
+                 platform_name: str = "default") -> RunSpec:
+        """The :class:`RunSpec` describing one (workload, policy) pair.
+
+        ``platform`` overrides the runner's configured platform for
+        platform-axis sweeps; ``platform_name`` is the variant's display
+        label (excluded from the cache key).
+        """
         return RunSpec(workload=workload.name, scale=workload.scale,
-                       policy=policy_name, platform=self.config.platform,
-                       runtime=self.config.runtime)
+                       policy=policy_name,
+                       platform=(platform if platform is not None
+                                 else self.config.platform),
+                       runtime=self.config.runtime,
+                       platform_name=platform_name)
 
     # -- Single runs ------------------------------------------------------------------
 
@@ -354,29 +373,46 @@ class ExperimentRunner:
 
     def sweep(self, policies: Sequence[str],
               workloads: Optional[Sequence[Workload]] = None, *,
+              platforms: Optional[Sequence[object]] = None,
               parallel: bool = False, workers: Optional[int] = None,
               cache_dir: Optional[str] = None
-              ) -> Dict[Tuple[str, str], ExecutionResult]:
-        """Run every (workload, policy) pair; keys are (workload, policy).
+              ) -> Dict[Tuple, ExecutionResult]:
+        """Run the (workload, policy[, platform]) cross-product.
 
-        The result grid is always assembled in workload-major spec order,
-        so serial and parallel sweeps return identical dictionaries (same
-        keys, same order, bit-identical results).
+        Without ``platforms`` the grid is keyed by (workload, policy) and
+        every pair runs on the runner's configured platform, exactly as
+        before the platform axis existed.  With ``platforms`` -- a
+        sequence of registered variant names and/or explicit
+        ``(name, PlatformConfig)`` pairs, resolved against the runner's
+        platform as the base -- the sweep covers the full cross-product
+        and the grid is keyed by (workload, policy, platform_name).
 
-        :param parallel: shard the pairs over a process pool.  With one
+        The result grid is always assembled in workload-major,
+        policy-then-platform spec order, so serial and parallel sweeps
+        return identical dictionaries (same keys, same order,
+        bit-identical results).
+
+        :param parallel: shard the units over a process pool.  With one
             resolved worker the sweep stays in-process (but still runs
             through the shared :func:`execute_run_spec` path).
         :param workers: worker count; ``None`` defers to
             :func:`resolve_sweep_workers` (``REPRO_SWEEP_WORKERS`` env
             override, then ``os.cpu_count()``).
         :param cache_dir: directory of the on-disk result cache; ``None``
-            disables caching.
+            disables caching.  Cache keys cover the resolved platform
+            configuration (not the variant label), so the cross-product
+            shares entries with single-platform sweeps of the same shape.
         """
         workloads = list(workloads) if workloads is not None else \
             self.config.workloads()
-        specs = [self.spec_for(workload, policy_name)
-                 for workload in workloads for policy_name in policies]
-        stats = SweepStats(pairs=len(specs), parallel=parallel)
+        variants = self._resolve_platforms(platforms)
+        keyed_by_platform = platforms is not None
+        specs = [self.spec_for(workload, policy_name, platform=config,
+                               platform_name=name)
+                 for workload in workloads for policy_name in policies
+                 for name, config in variants]
+        stats = SweepStats(pairs=len(specs), parallel=parallel,
+                           platforms=len(variants))
         cache = SweepCache(cache_dir) if cache_dir else None
         if parallel or cache:
             # Cache keys identify workloads by (name, scale), so the cache
@@ -426,8 +462,38 @@ class ExperimentRunner:
                     cache.store(specs[index], result)
 
         self.last_sweep_stats = stats
+        if keyed_by_platform:
+            return {(spec.workload, spec.policy, spec.platform_name): result
+                    for spec, result in zip(specs, slots)}
         return {(spec.workload, spec.policy): result
                 for spec, result in zip(specs, slots)}
+
+    def _resolve_platforms(self, platforms: Optional[Sequence[object]]
+                           ) -> List[Tuple[str, PlatformConfig]]:
+        """Normalize the platform axis into (name, config) pairs.
+
+        ``None`` means "no platform axis": one anonymous entry holding the
+        runner's configured platform under the ``default`` label.
+        """
+        if platforms is None:
+            return [("default", self.config.platform)]
+        resolved: List[Tuple[str, PlatformConfig]] = []
+        seen = set()
+        for entry in platforms:
+            if isinstance(entry, str):
+                name, config = entry, platform_variant(
+                    entry, base=self.config.platform)
+            else:
+                name, config = entry
+            if name in seen:
+                raise ValueError(
+                    f"duplicate platform variant {name!r} in sweep; the "
+                    "variant names key the result grid")
+            seen.add(name)
+            resolved.append((name, config))
+        if not resolved:
+            raise ValueError("platform axis must name at least one variant")
+        return resolved
 
     @staticmethod
     def _verify_parallelizable(workloads: Iterable[Workload]) -> None:
@@ -471,12 +537,21 @@ def energy_table(results: Dict[Tuple[str, str], ExecutionResult],
     table: Dict[str, Dict[str, Dict[str, float]]] = {}
     for workload in workloads:
         base_energy = results[(workload, baseline)].total_energy_nj
+        if base_energy <= 0:
+            # Normalizing by a zero-energy baseline is undefined; the old
+            # behaviour silently emitted an all-zero row, which reads as
+            # "this policy is free" in Fig. 7(b).  Every simulated run
+            # charges energy, so a zero here means the result grid is
+            # broken -- fail loudly instead of flattening the figure.
+            raise ValueError(
+                f"baseline {baseline!r} reported zero energy for workload "
+                f"{workload!r}; cannot normalize the energy table")
         row: Dict[str, Dict[str, float]] = {}
         for policy in policies:
             if (workload, policy) not in results:
                 continue
             result = results[(workload, policy)]
-            total = result.total_energy_nj / base_energy if base_energy else 0
+            total = result.total_energy_nj / base_energy
             dm_fraction = result.energy.data_movement_fraction
             row[policy] = {
                 "total": total,

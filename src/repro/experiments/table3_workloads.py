@@ -8,14 +8,19 @@ reported next to the paper's values.
 Characterization is compile-only (no simulation), but each workload's
 compile + measurement is independent, so the table shards over the same
 process pool as the simulation sweeps; rows come back in workload order
-regardless of completion order.
+regardless of completion order.  Registered as the ``table3`` experiment
+(``python -m repro run table3``) -- the only definition with an empty
+policy axis, proving the registry also covers non-sweep experiments.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional
 
+from repro.experiments.registry import (ExperimentContext, ExperimentDef,
+                                        register_experiment)
 from repro.experiments.report import format_table
 from repro.experiments.runner import ExperimentConfig, resolve_sweep_workers
 from repro.workloads import Workload, characterization_table
@@ -26,17 +31,38 @@ def _characterization_row(workload: Workload) -> Dict[str, object]:
     return characterization_table([workload])[0]
 
 
-def run_table3(config: Optional[ExperimentConfig] = None, *,
-               parallel: bool = True, workers: Optional[int] = None
-               ) -> List[Dict[str, object]]:
-    config = config or ExperimentConfig()
-    workloads = config.workloads()
+def _characterize(workloads: List[Workload], *, parallel: bool,
+                  workers: Optional[int]) -> List[Dict[str, object]]:
     count = min(resolve_sweep_workers(workers), len(workloads)) \
         if parallel else 1
     if count > 1:
         with ProcessPoolExecutor(max_workers=count) as pool:
             return list(pool.map(_characterization_row, workloads))
     return [_characterization_row(workload) for workload in workloads]
+
+
+def _sections(ctx: ExperimentContext):
+    return OrderedDict(table3=_characterize(ctx.workloads,
+                                            parallel=ctx.parallel,
+                                            workers=ctx.workers))
+
+
+TABLE3_DEF = register_experiment(ExperimentDef(
+    name="table3",
+    title="Table 3 -- workload characteristics (measured vs. paper)",
+    description="Compile-time characterization: vectorizable fraction, "
+                "reuse, and latency-class operation mix.",
+    policies=(),  # compile-only: no simulation sweep
+    build=_sections,
+), overwrite=True)
+
+
+def run_table3(config: Optional[ExperimentConfig] = None, *,
+               parallel: bool = True, workers: Optional[int] = None
+               ) -> List[Dict[str, object]]:
+    config = config or ExperimentConfig()
+    return _characterize(config.workloads(), parallel=parallel,
+                         workers=workers)
 
 
 def main(config: Optional[ExperimentConfig] = None) -> str:
@@ -47,5 +73,6 @@ def main(config: Optional[ExperimentConfig] = None) -> str:
     return text
 
 
-if __name__ == "__main__":
-    main()
+if __name__ == "__main__":  # deprecation shim -> python -m repro run table3
+    from repro.__main__ import run_module_shim
+    run_module_shim("table3")

@@ -1,0 +1,350 @@
+"""Tests for the declarative experiment API and the ``python -m repro`` CLI.
+
+Covers the three objects the API redesign introduced:
+
+* the platform-variant registry (``PLATFORM_VARIANTS``), including
+  user-registered variants and unknown-name error messages;
+* the platform axis of ``ExperimentRunner.sweep`` -- cross-product grids,
+  serial == parallel bit-identity, label-free cache keys shared across
+  variants and experiments;
+* the experiment registry + ``run_experiment`` engine + CLI -- a smoke run
+  of every registered experiment at tiny scale through ``repro run``,
+  multi-platform section grids, sweep-stats surfacing (``-v``), JSON
+  output and unknown-experiment/variant exit paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.common import MIB
+from repro.core.platform import PlatformConfig, backend_roster
+from repro.dram.cxl import CXLPuDConfig
+from repro.experiments import (EXPERIMENT_REGISTRY, ExperimentConfig,
+                               ExperimentDef, ExperimentRunner,
+                               available_experiments,
+                               available_platform_variants, experiment_def,
+                               per_platform, platform_variant,
+                               register_experiment,
+                               register_platform_variant, run_experiment,
+                               run_spec_key)
+from repro.experiments.platforms import (MULTICORE_ISP_CORES,
+                                         PLATFORM_VARIANTS)
+from repro.ssd.config import small_ssd_config
+from repro.workloads import Jacobi1DWorkload
+
+TINY_SCALE = 0.03
+
+#: Scale the CLI smoke runs use (full experiment platform, so keep small).
+CLI_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    platform = PlatformConfig(ssd=small_ssd_config(),
+                              dram_compute_window_bytes=1 * MIB,
+                              sram_window_bytes=256 * 1024,
+                              host_cache_bytes=1 * MIB)
+    return ExperimentConfig(workload_scale=TINY_SCALE, platform=platform)
+
+
+@pytest.fixture(scope="module")
+def cli_cache_dir(tmp_path_factory) -> str:
+    """One cache shared by every CLI smoke run, so common pairs run once."""
+    return str(tmp_path_factory.mktemp("cli_sweep_cache"))
+
+
+def result_fingerprint(result):
+    return (result.workload, result.policy, result.total_time_ns,
+            result.total_energy_nj, result.energy.compute_nj,
+            result.energy.data_movement_nj,
+            tuple((r.uid, r.op, r.resource, r.dispatch_ns, r.end_ns)
+                  for r in result.records))
+
+
+class TestPlatformVariants:
+    def test_builtin_variants_registered(self):
+        names = available_platform_variants()
+        assert ("default", "multicore-isp", "cxl-pud") == names[:3]
+
+    def test_default_variant_is_identity(self, tiny_config):
+        assert platform_variant(
+            "default", base=tiny_config.platform) == tiny_config.platform
+
+    def test_multicore_variant_grows_isp_cores(self, tiny_config):
+        grown = platform_variant("multicore-isp", base=tiny_config.platform)
+        assert grown.isp_cores == MULTICORE_ISP_CORES
+        assert any(name.startswith("isp[") for name in backend_roster(grown))
+
+    def test_cxl_variant_enables_the_tier(self, tiny_config):
+        grown = platform_variant("cxl-pud", base=tiny_config.platform)
+        assert grown.cxl_pud is not None
+        assert "cxl-pud" in backend_roster(grown)
+
+    def test_unknown_variant_lists_known_names(self):
+        with pytest.raises(ValueError, match="unknown platform variant"):
+            platform_variant("no-such-shape")
+        with pytest.raises(ValueError, match="multicore-isp"):
+            platform_variant("no-such-shape")
+
+    def test_user_registered_variant_is_sweepable(self, tiny_config):
+        def fast_cxl(base):
+            return dataclasses.replace(
+                base, cxl_pud=CXLPuDConfig(link_latency_ns=100.0))
+
+        register_platform_variant("fast-cxl", fast_cxl)
+        try:
+            assert "fast-cxl" in available_platform_variants()
+            with pytest.raises(ValueError, match="already registered"):
+                register_platform_variant("fast-cxl", fast_cxl)
+            runner = ExperimentRunner(tiny_config)
+            grid = runner.sweep(("Conduit",),
+                                [Jacobi1DWorkload(scale=TINY_SCALE)],
+                                platforms=("fast-cxl",))
+            assert ("jacobi-1d", "Conduit", "fast-cxl") in grid
+        finally:
+            PLATFORM_VARIANTS.pop("fast-cxl", None)
+
+
+class TestPlatformAxisSweep:
+    POLICIES = ("CPU", "Conduit")
+    PLATFORMS = ("default", "cxl-pud")
+
+    def test_cross_product_keys_and_order(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        workloads = [Jacobi1DWorkload(scale=TINY_SCALE)]
+        grid = runner.sweep(self.POLICIES, workloads,
+                            platforms=self.PLATFORMS)
+        assert list(grid) == [
+            ("jacobi-1d", policy, platform)
+            for policy in self.POLICIES for platform in self.PLATFORMS
+        ]
+        assert runner.last_sweep_stats.pairs == 4
+        assert runner.last_sweep_stats.platforms == 2
+
+    def test_serial_parallel_bit_identity(self, tiny_config):
+        workloads = [Jacobi1DWorkload(scale=TINY_SCALE)]
+        serial = ExperimentRunner(tiny_config).sweep(
+            self.POLICIES, workloads, platforms=self.PLATFORMS)
+        parallel = ExperimentRunner(tiny_config).sweep(
+            self.POLICIES, workloads, platforms=self.PLATFORMS,
+            parallel=True, workers=2)
+        assert list(serial) == list(parallel)
+        for key in serial:
+            assert (result_fingerprint(serial[key]) ==
+                    result_fingerprint(parallel[key])), key
+
+    def test_platform_label_is_not_part_of_the_cache_key(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        workload = Jacobi1DWorkload(scale=TINY_SCALE)
+        labelled = runner.spec_for(workload, "Conduit",
+                                   platform=tiny_config.platform,
+                                   platform_name="some-label")
+        plain = runner.spec_for(workload, "Conduit")
+        assert labelled != plain
+        assert run_spec_key(labelled) == run_spec_key(plain)
+
+    def test_axis_sweep_shares_cache_with_plain_sweep(self, tiny_config,
+                                                      tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        workloads = [Jacobi1DWorkload(scale=TINY_SCALE)]
+        runner = ExperimentRunner(tiny_config)
+        runner.sweep(self.POLICIES, workloads, platforms=("default",),
+                     cache_dir=cache_dir)
+        assert runner.last_sweep_stats.executed == 2
+        # A plain (no platform axis) sweep of the same shape is served
+        # entirely from the axis sweep's entries: the variant label is
+        # excluded from the key, the configuration is what matters.
+        fresh = ExperimentRunner(tiny_config)
+        fresh.sweep(self.POLICIES, workloads, cache_dir=cache_dir)
+        assert fresh.last_sweep_stats.cache_hits == 2
+        assert fresh.last_sweep_stats.executed == 0
+
+    def test_duplicate_variant_rejected(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        with pytest.raises(ValueError, match="duplicate platform variant"):
+            runner.sweep(("CPU",), [Jacobi1DWorkload(scale=TINY_SCALE)],
+                         platforms=("default", "default"))
+
+    def test_empty_axis_rejected(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        with pytest.raises(ValueError, match="at least one"):
+            runner.sweep(("CPU",), [Jacobi1DWorkload(scale=TINY_SCALE)],
+                         platforms=())
+
+
+class TestExperimentRegistry:
+    def test_every_definition_is_well_formed(self):
+        for name, definition in EXPERIMENT_REGISTRY.items():
+            assert definition.name == name
+            assert definition.title
+            assert definition.build is not None or definition.composite
+            assert definition.axes_summary()
+
+    def test_expected_builtins_present(self):
+        assert {"fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "table3",
+                "overheads", "backend_ablation",
+                "report"} <= set(available_experiments())
+
+    def test_report_composite_covers_the_whole_evaluation(self, tiny_config):
+        # The full-report section set the old CI script asserted; a member
+        # dropped from the composite must fail here, not silently shrink
+        # the published report.
+        assert experiment_def("report").composite == (
+            "table3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+            "overheads")
+        from repro.experiments import run_report
+        sections = run_report(tiny_config, parallel=False)
+        assert set(sections) == {"table3", "fig4", "fig5", "fig7a", "fig7b",
+                                 "fig8", "fig9", "fig10", "overheads"}
+        assert all(text.strip() and text != "(no rows)"
+                   for text in sections.values())
+
+    def test_unknown_experiment_lists_available(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            experiment_def("fig99")
+        with pytest.raises(ValueError, match="fig7"):
+            experiment_def("fig99")
+
+    def test_register_rejects_silent_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(ExperimentDef(
+                name="fig7", title="imposter",
+                build=lambda ctx: {}))
+
+    def test_run_experiment_sections_and_stats(self, tiny_config):
+        result = run_experiment("fig8", tiny_config, parallel=False)
+        assert list(result.sections) == ["fig8"]
+        rows = result.sections["fig8"]
+        assert len(rows) == 8  # 2 workloads x 4 policies
+        assert all(row["p9999_us"] >= row["p99_us"] > 0 for row in rows)
+        (name, stats), = result.stats
+        assert name == "fig8"
+        assert stats.pairs == 8
+
+    def test_multi_platform_run_prefixes_sections(self, tiny_config):
+        result = run_experiment("fig10", tiny_config,
+                                platforms=("default", "cxl-pud"),
+                                parallel=False)
+        assert list(result.sections) == ["default/fig10", "cxl-pud/fig10"]
+        assert result.stats[0][1].pairs == 6  # 1 workload x 3 pol x 2 plat
+        # The per-variant grids come from the one cross-product sweep.
+        default = result.platform_grid("default")
+        grown = result.platform_grid("cxl-pud")
+        assert set(default) == set(grown)
+        assert len(result.grid) == len(default) + len(grown)
+
+    def test_ablation_is_a_platform_axis_sweep(self, tiny_config):
+        result = run_experiment("backend_ablation", tiny_config,
+                                parallel=False)
+        rows = result.sections["ablation"]
+        assert {row["roster"] for row in rows} == {"default",
+                                                   "multicore-isp",
+                                                   "cxl-pud"}
+        assert result.stats[0][1].platforms == 3
+        # The speedup column normalizes against the default roster even
+        # though it is not the first variant alphabetically; its own
+        # speedup is exactly 1.
+        for row in rows:
+            if row["roster"] == "default":
+                assert row["speedup_vs_default"] == 1.0
+
+    def test_ablation_baseline_follows_the_swept_axis(self, tiny_config):
+        # Without the default roster in the run, the column is relabelled
+        # after the variant actually used as the baseline.
+        result = run_experiment("backend_ablation", tiny_config,
+                                platforms=("cxl-pud", "multicore-isp"),
+                                parallel=False)
+        rows = result.sections["ablation"]
+        assert all("speedup_vs_cxl-pud" in row for row in rows)
+
+    def test_duplicate_platforms_rejected_by_engine(self, tiny_config):
+        with pytest.raises(ValueError, match="duplicate platform variant"):
+            run_experiment("fig10", tiny_config,
+                           platforms=("default", "default"),
+                           parallel=False)
+
+    def test_result_platform_grid_rejects_unswept_name(self, tiny_config):
+        result = run_experiment("fig10", tiny_config,
+                                platforms=("cxl-pud",), parallel=False)
+        with pytest.raises(ValueError, match="not part of this result"):
+            result.platform_grid("default")
+
+    def test_ad_hoc_definition_runs_unregistered(self, tiny_config):
+        definition = ExperimentDef(
+            name="adhoc", title="ad-hoc",
+            policies=("CPU", "Conduit"),
+            workloads=(Jacobi1DWorkload.name,),
+            build=per_platform(lambda ctx, name, grid: {
+                "adhoc": [{"pairs": len(grid)}]}))
+        result = run_experiment(definition, tiny_config, parallel=False)
+        assert result.sections["adhoc"] == [{"pairs": 2}]
+        assert "adhoc" not in EXPERIMENT_REGISTRY
+
+
+class TestCLI:
+    @pytest.mark.parametrize("experiment", sorted(EXPERIMENT_REGISTRY))
+    def test_run_smoke_every_registry_entry(self, experiment, capsys,
+                                            cli_cache_dir):
+        rc = cli_main(["run", experiment, "--scale", str(CLI_SCALE),
+                       "--serial", "--cache-dir", cli_cache_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "== " in out  # at least one formatted section
+
+    def test_list_names_experiments_and_variants(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_REGISTRY:
+            assert name in out
+        for variant in ("default", "multicore-isp", "cxl-pud"):
+            assert variant in out
+
+    def test_verbose_surfaces_sweep_stats(self, capsys, cli_cache_dir):
+        rc = cli_main(["run", "fig8", "--scale", str(CLI_SCALE), "--serial",
+                       "--cache-dir", cli_cache_dir, "-v"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[sweep fig8]" in out
+        assert "pairs=8" in out
+        assert "cache_hits=" in out and "workers=" in out
+
+    def test_platform_axis_from_the_cli(self, capsys, cli_cache_dir):
+        rc = cli_main(["run", "fig10", "--scale", str(CLI_SCALE), "--serial",
+                       "--cache-dir", cli_cache_dir,
+                       "--platform", "default", "--platform", "cxl-pud"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "== default/fig10 ==" in out
+        assert "== cxl-pud/fig10 ==" in out
+
+    def test_json_output(self, capsys, cli_cache_dir, tmp_path):
+        out_path = tmp_path / "fig8.json"
+        rc = cli_main(["run", "fig8", "--scale", str(CLI_SCALE), "--serial",
+                       "--cache-dir", cli_cache_dir, "--json",
+                       str(out_path)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "fig8"
+        assert payload["sections"]["fig8"]
+        assert payload["sweeps"][0]["pairs"] == 8
+
+    def test_unknown_experiment_exit_code_and_message(self, capsys):
+        rc = cli_main(["run", "fig99", "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown experiment 'fig99'" in captured.err
+        assert "fig7" in captured.err  # the message lists what exists
+
+    def test_unknown_variant_exit_code_and_message(self, capsys):
+        rc = cli_main(["run", "fig7", "--platform", "warp-drive",
+                       "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown platform variant 'warp-drive'" in captured.err
+        assert "cxl-pud" in captured.err

@@ -182,6 +182,20 @@ class TestSweepCache:
         assert cache.load(spec) is None
         assert cache.misses == 1
 
+    def test_store_failure_does_not_leak_temp_file(self, tiny_config,
+                                                   tmp_path):
+        # pickle.dump raising something other than OSError (here: an
+        # unpicklable payload) used to leave the mkstemp file behind; the
+        # cleanup now lives in a ``finally`` so the directory stays clean
+        # and the error still propagates.
+        cache = SweepCache(str(tmp_path))
+        spec = ExperimentRunner(tiny_config).spec_for(
+            Jacobi1DWorkload(scale=TINY_SCALE), "Conduit")
+        unpicklable = lambda: None  # noqa: E731 - locals never pickle
+        with pytest.raises(Exception):
+            cache.store(spec, unpicklable)
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestWorkerResolution:
     def test_explicit_argument_wins(self, monkeypatch):

@@ -31,7 +31,8 @@ from repro.core.offload.policies import (POLICY_REGISTRY, PolicyContext,
                                          make_policy)
 from repro.experiments import (ExperimentConfig, ExperimentRunner,
                                FIG5_POLICIES, FIG7_POLICIES, energy_table,
-                               execute_run_spec, speedup_table)
+                               execute_run_spec, run_experiment,
+                               speedup_table)
 from repro.experiments.runner import HOST_POLICIES
 from repro.workloads import Jacobi1DWorkload, XORFilterWorkload
 
@@ -270,6 +271,21 @@ class TestFig7Goldens:
                 assert ours.resource is theirs.resource, key
                 assert ours.end_ns == theirs.end_ns, key
         assert_tables_match_golden(parallel)
+
+    def test_run_experiment_engine_reproduces_goldens(self, golden_config,
+                                                      serial_results):
+        # The declarative experiment API must be a pure re-plumbing: the
+        # registered ``fig7`` definition, executed by the shared
+        # run_experiment() engine on the ``default`` platform variant,
+        # reproduces the pinned tables bit-exactly.
+        result = run_experiment("fig7", golden_config, parallel=False)
+        grid = result.platform_grid("default")
+        assert list(grid) == list(serial_results)
+        for key, serial in serial_results.items():
+            assert grid[key].total_time_ns == serial.total_time_ns, key
+            assert grid[key].total_energy_nj == serial.total_energy_nj, key
+        assert_tables_match_golden(grid)
+        assert set(result.sections) == {"fig7a", "fig7b"}
 
 
 class TestDeterminism:
