@@ -5,45 +5,20 @@
   sum) and measure the impact on Conduit's execution time.
 * Coherence: lazy (paper) vs strict flush-on-every-write.
 * Vector width: the page-aligned 4096-element width vs narrower widths.
+
+The loops themselves live in :mod:`repro.experiments.ablations` (each is a
+registered experiment, ``python -m repro run cost_ablation`` etc.); these
+benchmarks time the shared row builders and keep the sanity assertions.
 """
 
-import pytest
 from conftest import run_once
 
-from repro.core.coherence import CoherencePolicy
-from repro.core.offload.cost_model import CostModelConfig
-from repro.core.offload.policies import ConduitPolicy
-from repro.core.platform import PlatformConfig
-from repro.core.compiler.vectorizer import VectorizerConfig
-from repro.core.runtime import ConduitRuntime
-from repro.core.platform import SSDPlatform
-from repro.experiments import ExperimentConfig, ExperimentRunner, format_table
-from repro.workloads import Heat3DWorkload, LlamaInferenceWorkload
-
-
-COST_ABLATIONS = {
-    "full": CostModelConfig(),
-    "no-queueing-delay": CostModelConfig(include_queueing_delay=False),
-    "no-data-movement": CostModelConfig(include_data_movement=False),
-    "no-dependence-delay": CostModelConfig(include_dependence_delay=False),
-    "sum-of-delays": CostModelConfig(combine_delays_with_max=False),
-}
-
-
-def _run_cost_ablations(config):
-    runner = ExperimentRunner(config)
-    workload = LlamaInferenceWorkload(scale=config.workload_scale)
-    rows = []
-    for name, cost_config in COST_ABLATIONS.items():
-        result = runner.run_with_policy(workload, ConduitPolicy(cost_config))
-        rows.append({"variant": name,
-                     "time_ms": result.total_time_ns / 1e6,
-                     "energy_mJ": result.total_energy_nj / 1e6})
-    return rows
+from repro.experiments import (cost_ablation_rows, coherence_ablation_rows,
+                               format_table, vector_width_ablation_rows)
 
 
 def test_bench_ablation_cost_features(benchmark, bench_config):
-    rows = run_once(benchmark, _run_cost_ablations, bench_config)
+    rows = run_once(benchmark, cost_ablation_rows, bench_config)
     print("\nAblation -- Conduit cost-function features (LLaMA2 Inference)")
     print(format_table(rows))
     by_variant = {row["variant"]: row["time_ms"] for row in rows}
@@ -52,29 +27,8 @@ def test_bench_ablation_cost_features(benchmark, bench_config):
     assert by_variant["full"] <= by_variant["no-data-movement"] * 2.0
 
 
-def _run_coherence_ablation(config):
-    workload = Heat3DWorkload(scale=config.workload_scale)
-    program, _ = workload.vector_program()
-    rows = []
-    for name, policy in (("lazy", CoherencePolicy.LAZY),
-                         ("strict", CoherencePolicy.STRICT)):
-        platform_config = PlatformConfig(
-            ssd=config.platform.ssd, dram=config.platform.dram,
-            dram_compute_window_bytes=config.platform.dram_compute_window_bytes,
-            sram_window_bytes=config.platform.sram_window_bytes,
-            host_cache_bytes=config.platform.host_cache_bytes,
-            coherence_policy=policy)
-        platform = SSDPlatform(platform_config)
-        result = ConduitRuntime(platform).execute(program, ConduitPolicy(),
-                                                  workload.name)
-        rows.append({"coherence": name,
-                     "time_ms": result.total_time_ns / 1e6,
-                     "flushes": platform.coherence.flushes})
-    return rows
-
-
 def test_bench_ablation_coherence(benchmark, bench_config):
-    rows = run_once(benchmark, _run_coherence_ablation, bench_config)
+    rows = run_once(benchmark, coherence_ablation_rows, bench_config)
     print("\nAblation -- lazy vs strict coherence (heat-3d)")
     print(format_table(rows))
     lazy = next(row for row in rows if row["coherence"] == "lazy")
@@ -83,24 +37,8 @@ def test_bench_ablation_coherence(benchmark, bench_config):
     assert strict["flushes"] >= lazy["flushes"]
 
 
-def _run_vector_width_ablation(config):
-    workload = Heat3DWorkload(scale=config.workload_scale)
-    rows = []
-    for width in (4096, 1024, 256):
-        program, _ = workload.vector_program(VectorizerConfig(
-            vector_width=width))
-        platform = SSDPlatform(config.platform)
-        result = ConduitRuntime(platform).execute(program, ConduitPolicy(),
-                                                  workload.name)
-        rows.append({"vector_width": width,
-                     "instructions": result.instructions,
-                     "time_ms": result.total_time_ns / 1e6,
-                     "avg_overhead_us": result.offload_overhead_avg_ns / 1e3})
-    return rows
-
-
 def test_bench_ablation_vector_width(benchmark, bench_config):
-    rows = run_once(benchmark, _run_vector_width_ablation, bench_config)
+    rows = run_once(benchmark, vector_width_ablation_rows, bench_config)
     print("\nAblation -- compile-time vector width (heat-3d)")
     print(format_table(rows))
     by_width = {row["vector_width"]: row for row in rows}

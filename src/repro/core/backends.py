@@ -26,6 +26,12 @@ computation resource:
   execution sub-units so contention emerges naturally;
 * ``utilization`` -- the bandwidth-utilization snapshot consumed by the
   BW-Offloading baseline;
+* ``link_backlog_ns`` / ``execution_channel_bytes`` -- backlog of any
+  backend-private link (e.g. the CXL command link) and shared
+  flash-channel traffic imposed by execution itself (Ares-Flash partial
+  products), consumed by the contention-aware cost model when
+  ``PlatformConfig.contention_feedback`` is enabled (the offloader also
+  reserves the declared execution traffic on the channel group);
 * ``queue`` -- the backend's execution queue (Section 5.1, "NDP
   Extensions"), whose running latency counter is the queueing-delay
   feature.
@@ -103,6 +109,38 @@ class ComputeBackend(abc.ABC):
     @abc.abstractmethod
     def utilization(self, elapsed: float) -> float:
         """Approximate utilization of this backend's data path in [0, 1]."""
+
+    # -- Contention feedback (cost-model input, Section 4.5 extension) -------
+
+    def link_backlog_ns(self, now: float) -> float:
+        """Queueing delay of backend-private links, in nanoseconds.
+
+        The platform's shared buses (flash channels, SSD DRAM bus, PCIe)
+        are observed through the movement-overrun feedback; a backend that
+        owns an extra link on its operand path (the CXL-attached PuD
+        tier's CXL link) reports that link's backlog here so the
+        contention-aware cost model
+        (``PlatformConfig.contention_feedback``) can fold it into the
+        candidate's movement penalty.  Backends without private links
+        report ``0.0``.
+        """
+        return 0.0
+
+    def execution_channel_bytes(self, op: OpType, size_bytes: int,
+                                element_bits: int) -> float:
+        """Shared flash-channel traffic executing ``op`` would generate.
+
+        In-flash arithmetic (Ares-Flash) shuttles partial products between
+        the flash chips and the controller while it runs, occupying the
+        shared channels (Section 6.4); every other backend computes out of
+        its home location and reports ``0``.  The offloader reserves this
+        traffic on the channel group during execution, and the
+        contention-aware cost model charges the candidate its occupancy --
+        the traffic does not extend the instruction's own latency, so
+        without feedback it is an unpriced externality on every
+        flash-bound movement.
+        """
+        return 0.0
 
 
 class BackendRegistry:

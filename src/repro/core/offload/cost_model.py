@@ -58,11 +58,17 @@ class CostFunction:
         self.evaluations = 0
 
     def estimate(self, features: ResourceFeatures) -> CostEstimate:
-        """Equation 1 for one resource."""
+        """Equation 1 for one resource.
+
+        The movement term is the contention-corrected estimate: the raw
+        uncontended table lookup scaled by the EWMA-observed overrun of
+        the candidate's operand path (exactly the raw lookup when
+        ``PlatformConfig.contention_feedback`` is off).
+        """
         config = self.config
         compute = (features.expected_compute_latency_ns
                    if config.include_compute_latency else 0.0)
-        movement = (features.data_movement_latency_ns
+        movement = (features.contended_data_movement_latency_ns
                     if config.include_data_movement else 0.0)
         dependence = (features.dependence_delay_ns
                       if config.include_dependence_delay else 0.0)

@@ -36,6 +36,10 @@ DEPENDENCE_SCAN_NS_PER_QUEUE = 1.0 * US
 QUEUE_DELAY_TRACK_NS = 1.0 * US
 MOVE_TABLE_LOOKUP_NS = 100.0
 COMPUTE_TABLE_LOOKUP_NS = 150.0
+#: One read of the contention-feedback table (per-path overrun averages
+#: plus private-link backlog counters) per instruction, charged only when
+#: ``PlatformConfig.contention_feedback`` is enabled.
+CONTENTION_SAMPLE_NS = 100.0
 
 
 @dataclass
@@ -48,14 +52,34 @@ class ResourceFeatures:
     data_movement_latency_ns: float
     queueing_delay_ns: float
     dependence_delay_ns: float
+    #: Expected extra movement delay from observed link contention on this
+    #: candidate's operand path (EWMA movement-overrun feedback plus
+    #: private-link backlog; exactly 0.0 when
+    #: ``PlatformConfig.contention_feedback`` is off, so the uncorrected
+    #: cost model stays bit-exact).
+    contention_delay_ns: float = 0.0
+
+    @property
+    def contended_data_movement_latency_ns(self) -> float:
+        """The movement estimate the cost model consumes (Eqn. 1 input).
+
+        ``data_movement_latency_ns`` stays the raw uncontended table
+        lookup; this property charges the observed contention of the
+        operand path on top (what a movement issued *now* would actually
+        take).  A candidate that moves nothing never touches the
+        congested links, so it pays no penalty.
+        """
+        if self.contention_delay_ns == 0.0:
+            return self.data_movement_latency_ns
+        return self.data_movement_latency_ns + self.contention_delay_ns
 
     def total_latency(self, *, combine_max: bool = True) -> float:
-        """Equation 1 of the paper."""
+        """Equation 1 of the paper (with the optional contention term)."""
         overlap = (max(self.dependence_delay_ns, self.queueing_delay_ns)
                    if combine_max
                    else self.dependence_delay_ns + self.queueing_delay_ns)
         return (self.expected_compute_latency_ns +
-                self.data_movement_latency_ns + overlap)
+                self.contended_data_movement_latency_ns + overlap)
 
 
 @dataclass
@@ -167,6 +191,13 @@ class FeatureCollector:
         # (4) queueing delay: read each resource's running latency counter.
         queue_delays = platform.queues.queueing_delays(now)
         collection_ns += QUEUE_DELAY_TRACK_NS
+        # (5b) link-contention feedback: each candidate's movement
+        # estimate below pays the EWMA-observed overrun of its operand
+        # path plus its private-link backlog (behind
+        # PlatformConfig.contention_feedback; see repro.core.contention).
+        feedback = platform.config.contention_feedback
+        if feedback:
+            collection_ns += CONTENTION_SAMPLE_NS
         per_resource: Dict[ResourceLike, ResourceFeatures] = {}
         for resource in platform.offload_candidates():
             backend = platform.backends[resource]
@@ -195,6 +226,11 @@ class FeatureCollector:
                 data_movement_latency_ns=movement,
                 queueing_delay_ns=queue_delay,
                 dependence_delay_ns=dependence_delay,
+                contention_delay_ns=(
+                    platform.contention_penalty_ns(
+                        resource, instruction.op, instruction.size_bytes,
+                        instruction.element_bits, movement, now)
+                    if feedback else 0.0),
             )
         self.collections += 1
         self.total_collection_latency_ns += collection_ns

@@ -27,8 +27,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.common import (DataLocation, OpType, Resource, ResourceLike,
-                          SimulationError)
+from repro.common import DataLocation, ResourceLike, SimulationError
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.layout import ArrayLayout
 from repro.core.offload.features import (FeatureCollector,
@@ -187,6 +186,18 @@ class SSDOffloader:
                     move_start, (action.lpa,), DataLocation.FLASH))
         dm_end = platform.ensure_runs_at(commit_end, source_runs, home)
         data_movement_ns = dm_end - move_start
+        # Live contention feedback: report how long reaching this operand
+        # path actually took against its uncontended estimate, so the
+        # next instruction's estimates price the observed cost of the
+        # path (no-op unless PlatformConfig.contention_feedback is
+        # enabled).  Deliberately measured from move_start, i.e.
+        # *including* the lazy-coherence commits above: operand ping-pong
+        # between homes surfaces as commit delay, and attributing it to
+        # the path being entered is what lets the feedback price the
+        # write-sharing churn the greedy model is blind to.
+        platform.observe_movement_contention(
+            resource, features.feature(resource).data_movement_latency_ns,
+            data_movement_ns)
 
         compute = platform.compute_latency(resource, instruction.op,
                                            instruction.size_bytes,
@@ -200,17 +211,15 @@ class SSDOffloader:
         platform.record_compute(reservation.start, resource, instruction.op,
                                 instruction.size_bytes,
                                 instruction.element_bits)
-        if resource.kind is Resource.IFP:
-            # Ares-Flash arithmetic (notably multiplication) shuttles partial
-            # products between the flash chips and the flash controller,
-            # occupying the shared flash channels during execution
-            # (Section 6.4).  Flash-Cosmos bitwise MWS needs no channel
-            # traffic beyond the command.
-            transfers = self._ifp_channel_transfers(instruction)
-            if transfers:
-                platform.ssd.channels.channels.transfer(
-                    reservation.start,
-                    transfers * platform.page_size)
+        # Execution-time shared-channel traffic (Ares-Flash shuttles
+        # partial products between the flash chips and the controller,
+        # Section 6.4) is declared by the backend and occupies the shared
+        # flash channels during execution.
+        channel_bytes = platform.backends[resource].execution_channel_bytes(
+            instruction.op, instruction.size_bytes, instruction.element_bits)
+        if channel_bytes:
+            platform.ssd.channels.channels.transfer(reservation.start,
+                                                    channel_bytes)
 
         # The destination pages now live at the resource's home location.
         if dest_run is not None:
@@ -225,15 +234,6 @@ class SSDOffloader:
             overhead_ns=overhead_ns)
         self.decisions.append(decision)
         return decision
-
-    @staticmethod
-    def _ifp_channel_transfers(instruction: VectorInstruction) -> int:
-        """Flash-channel page transfers an IFP operation generates."""
-        if instruction.op in (OpType.MUL, OpType.MAC):
-            return instruction.element_bits
-        if instruction.op in (OpType.ADD, OpType.SUB):
-            return 1
-        return 0
 
     # -- Overhead statistics (Section 4.5) ---------------------------------------------------
 

@@ -147,7 +147,12 @@ class BWOffloadingPolicy(OffloadingPolicy):
 
 
 class DMOffloadingPolicy(OffloadingPolicy):
-    """Data-movement-minimizing offloading (ALP-style models)."""
+    """Data-movement-minimizing offloading (ALP-style models).
+
+    Ranks by the contention-corrected movement estimate, which is exactly
+    the raw table lookup (and therefore the pinned golden behaviour)
+    unless ``PlatformConfig.contention_feedback`` is enabled.
+    """
 
     name = "DM-Offloading"
 
@@ -158,7 +163,7 @@ class DMOffloadingPolicy(OffloadingPolicy):
         if not viable:
             return self._fallback(features)
         return min(viable, key=lambda r: (
-            features.feature(r).data_movement_latency_ns,
+            features.feature(r).contended_data_movement_latency_ns,
             features.feature(r).expected_compute_latency_ns, r.value))
 
 

@@ -44,6 +44,7 @@ from repro.common import (BackendId, DataLocation, MIB, OpType, Resource,
                           ResourceLike, SimulationError)
 from repro.core.backends import BackendRegistry
 from repro.core.coherence import CoherenceDirectory, CoherencePolicy
+from repro.core.contention import LinkContentionMonitor
 from repro.dram.config import DRAMConfig
 from repro.dram.cxl import CXLPuDBackend, CXLPuDConfig
 from repro.dram.dram import DRAMDevice
@@ -80,6 +81,28 @@ class PlatformConfig:
     host_cache_bytes: int = 128 * MIB
 
     coherence_policy: CoherencePolicy = CoherencePolicy.LAZY
+
+    # -- Contention-aware cost model (link-utilization feedback) ------------
+
+    #: Correct the cost model's data-movement estimates with live
+    #: link-contention feedback: every completed movement reports its
+    #: observed time against the uncontended table estimate, the overrun
+    #: (the queueing experienced on the path's shared buses -- flash
+    #: channels, SSD DRAM bus, PCIe) is EWMA-smoothed per operand path,
+    #: and each candidate's future estimates are scaled by its path's
+    #: smoothed overrun (plus the live backlog of backend-private links
+    #: such as the CXL command link).  This closes the greedy
+    #: per-instruction argmin's blindness to global link contention; see
+    #: :mod:`repro.core.contention`.  Off by default so the pinned
+    #: goldens keep reproducing the paper's uncorrected cost model
+    #: bit-exactly.
+    contention_feedback: bool = False
+    #: EWMA smoothing factor of the movement-overrun samples (1.0 keeps
+    #: only the latest sample).
+    contention_ewma_alpha: float = 0.3
+    #: Gain weighting the smoothed relative overrun charged back to an
+    #: estimate (``scale = 1 + gain * (relative_overrun - 1)``).
+    contention_gain: float = 2.0
 
     #: Move operands as contiguous LPA runs (one sized bus reservation per
     #: run segment).  ``False`` selects the per-page reference path, kept
@@ -264,6 +287,12 @@ class SSDPlatform:
         self._residence: Dict[int, DataLocation] = {}
         self.movement = DataMovementStats()
         self._move_table = self._build_move_table()
+        #: EWMA monitor of observed movement overrun per operand path,
+        #: fed only when ``config.contention_feedback`` is enabled (see
+        #: :mod:`repro.core.contention`).  Owned per platform, so every
+        #: run starts from clean feedback state.
+        self.contention = LinkContentionMonitor(
+            self.config.contention_ewma_alpha, self.config.contention_gain)
 
     # ------------------------------------------------------------------------
     # Backend registry (the platform's compute shape, grown from config)
@@ -788,6 +817,79 @@ class SSDPlatform:
         if elapsed <= 0:
             return 0.0
         return self.backends[resource].utilization(elapsed)
+
+    # ------------------------------------------------------------------------
+    # Contention feedback (the cost model's link-utilization input)
+    # ------------------------------------------------------------------------
+
+    def movement_path(self, resource: ResourceLike) -> str:
+        """Monitor key of the operand path feeding one offload candidate.
+
+        Candidates sharing a home location share the shared-bus path
+        (flash channels plus the destination leg: SSD DRAM bus or PCIe),
+        so the overrun observed for one backend's movements reprices every
+        backend on the same path.
+        """
+        return self.backends[resource].home_location.value
+
+    def observe_movement_contention(self, resource: ResourceLike,
+                                    estimated_ns: float,
+                                    observed_ns: float) -> None:
+        """Feed one completed movement's estimate/actual pair back.
+
+        Called by the offloader's dispatch loop after every operand
+        movement; the overrun versus the uncontended table estimate is the
+        queueing the movement experienced on its path's shared links
+        (:mod:`repro.core.contention`).  A no-op unless
+        ``contention_feedback`` is enabled -- feedback-off runs never
+        touch the monitor and stay bit-exact.
+        """
+        if not self.config.contention_feedback:
+            return
+        self.contention.observe_movement(self.movement_path(resource),
+                                         estimated_ns, observed_ns)
+
+    def contention_penalty_ns(self, resource: ResourceLike, op: OpType,
+                              size_bytes: int, element_bits: int,
+                              movement_ns: float, now: float) -> float:
+        """Expected extra delay from link contention for one candidate.
+
+        Three terms, all exactly ``0.0`` with feedback disabled:
+
+        * ``movement_ns`` (the candidate's uncontended movement estimate)
+          scaled by the EWMA-observed overrun of its operand path, plus
+          the live backlog of any backend-private link on that path (the
+          CXL command link) -- a candidate moving nothing pays neither
+          (its tier's busy-ness is already the queueing-delay feature);
+        * the shared flash-channel occupancy the candidate's *execution*
+          would impose (Ares-Flash partial-product shuttling), priced at
+          the channels' uncontended transfer time.  This traffic never
+          extends the instruction's own latency, so without feedback it
+          is a free externality on every flash-bound movement.
+        """
+        if not self.config.contention_feedback:
+            return 0.0
+        backend = self.backends[resource]
+        penalty = 0.0
+        if movement_ns > 0.0:
+            # Private-link backlog rides with the movement term: a
+            # zero-movement candidate's busy tier is already priced by
+            # the queueing-delay feature (its execution queue is a
+            # per-candidate cost input), so charging the link again
+            # there double-counts and measurably over-deters.
+            scale = self.contention.scale(self.movement_path(resource))
+            penalty += (movement_ns * (scale - 1.0) +
+                        backend.link_backlog_ns(now))
+        if self.contention.samples > 0:
+            # The externality price activates with the feedback loop's
+            # first observation: under provably zero traffic (nothing
+            # moved yet) feedback-on estimates must equal feedback-off.
+            channel_bytes = backend.execution_channel_bytes(op, size_bytes,
+                                                            element_bits)
+            if channel_bytes > 0.0:
+                penalty += self.ssd.channels.channels.transfer_time(
+                    channel_bytes)
+        return penalty
 
     # ------------------------------------------------------------------------
     # Home locations

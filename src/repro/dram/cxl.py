@@ -25,6 +25,7 @@ from repro.core.backends import ComputeBackend
 from repro.dram.config import DRAMConfig
 from repro.dram.dram import DRAMDevice
 from repro.dram.pud import PuDOperationTiming, PuDUnit
+from repro.ssd.events import SharedBus
 
 
 def _default_cxl_dram() -> DRAMConfig:
@@ -47,6 +48,12 @@ class CXLPuDConfig:
     link_latency_ns: float = 600.0
     #: Link energy of that round-trip (nJ per operation).
     link_energy_nj: float = 40.0
+    #: Bandwidth of the CXL link's command/completion path (bytes/ns).
+    link_bandwidth_bytes_per_ns: float = 16.0
+    #: Command + completion flit bytes serialized on the link per native
+    #: operation (the payload stays in the expander; only descriptors
+    #: cross the link).
+    command_bytes: int = 64
 
 
 class CXLPuDBackend(ComputeBackend):
@@ -61,6 +68,12 @@ class CXLPuDBackend(ComputeBackend):
         self.config = config
         self.dram = DRAMDevice(config.dram)
         self.unit = PuDUnit(self.dram)
+        #: The CXL command/completion link.  Operation descriptors are
+        #: serialized on it, so a tier absorbing a burst of work shows a
+        #: real backlog here -- the signal the contention-aware cost model
+        #: samples via :meth:`link_backlog_ns`.
+        self.link = SharedBus(f"{resource.value}-link",
+                              config.link_bandwidth_bytes_per_ns)
         super().__init__(resource, DataLocation.HOST, config.dram.banks)
 
     @property
@@ -82,12 +95,25 @@ class CXLPuDBackend(ComputeBackend):
 
     def execute(self, now: float, op: OpType, size_bytes: int,
                 element_bits: int) -> PuDOperationTiming:
-        inner = self.unit.execute(now + self.config.link_latency_ns, op,
-                                  size_bytes, element_bits)
+        # The operation descriptor serializes on the shared CXL link, then
+        # pays the command round-trip before the in-expander compute runs.
+        command = self.link.transfer(now, self.config.command_bytes)
+        inner = self.unit.execute(command.end + self.config.link_latency_ns,
+                                  op, size_bytes, element_bits)
         # Report the link round-trip as part of the operation's latency.
         return PuDOperationTiming(start_ns=now, end_ns=inner.end_ns,
                                   rows=inner.rows,
                                   steps_per_row=inner.steps_per_row)
 
     def utilization(self, elapsed: float) -> float:
-        return self.dram.utilization(elapsed)
+        # The execution-queue occupancy, not the tier's private DRAM bus
+        # (which bulk-bitwise compute never touches) nor the command link
+        # (whose 64-byte descriptors are busy for nanoseconds per op):
+        # the queue's servers are reserved for every operation's full
+        # duration, so this is the one snapshot that actually rises with
+        # load on the tier.
+        return self.queue.utilization(elapsed)
+
+    def link_backlog_ns(self, now: float) -> float:
+        """Queueing delay on the tier's private CXL command link."""
+        return self.link.queueing_delay(now)

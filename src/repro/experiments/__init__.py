@@ -13,16 +13,24 @@ from repro.experiments.platforms import (MULTICORE_ISP_CORES,
                                          available_platform_variants,
                                          experiment_platform_config,
                                          platform_variant,
-                                         register_platform_variant)
+                                         register_platform_variant,
+                                         with_contention_feedback)
 from repro.experiments.registry import (EXPERIMENT_REGISTRY,
                                         ExperimentContext, ExperimentDef,
                                         ExperimentResult,
                                         available_experiments,
                                         experiment_def, per_platform,
                                         register_experiment, run_experiment)
+from repro.experiments.ablations import (ABLATION_VECTOR_WIDTHS,
+                                         COST_ABLATIONS, cost_ablation_rows,
+                                         coherence_ablation_rows,
+                                         vector_width_ablation_rows)
 from repro.experiments.backend_ablation import (ABLATION_PLATFORMS,
                                                 ablation_rosters,
                                                 run_backend_ablation)
+from repro.experiments.contention import (CONTENTION_PLATFORMS,
+                                          CONTENTION_WORKLOADS,
+                                          run_contention)
 from repro.experiments.fig4_case_study import run_case_study
 from repro.experiments.fig5_motivation import run_motivation
 from repro.experiments.fig7_speedup_energy import (Fig7Results,
@@ -51,10 +59,14 @@ __all__ = [
     "MULTICORE_ISP_CORES", "PLATFORM_VARIANTS",
     "available_platform_variants", "experiment_platform_config",
     "platform_variant", "register_platform_variant",
+    "with_contention_feedback",
     "EXPERIMENT_REGISTRY", "ExperimentContext", "ExperimentDef",
     "ExperimentResult", "available_experiments", "experiment_def",
     "per_platform", "register_experiment", "run_experiment",
     "ABLATION_PLATFORMS", "ablation_rosters", "run_backend_ablation",
+    "ABLATION_VECTOR_WIDTHS", "COST_ABLATIONS", "cost_ablation_rows",
+    "coherence_ablation_rows", "vector_width_ablation_rows",
+    "CONTENTION_PLATFORMS", "CONTENTION_WORKLOADS", "run_contention",
     "run_case_study", "run_motivation", "Fig7Results",
     "fig7_results_from_grid", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",

@@ -9,7 +9,12 @@ pairs the same way gem5 configs name system shapes:
 * ``default`` -- the paper's trio (pooled ISP, PuD-SSD, IFP);
 * ``multicore-isp`` -- the ISP pool split into per-core backends
   ``isp[0..4)``, each with its own execution queue;
-* ``cxl-pud`` -- the opt-in CXL-attached PuD tier enabled.
+* ``cxl-pud`` -- the opt-in CXL-attached PuD tier enabled;
+* ``default-feedback`` / ``multicore-isp-feedback`` /
+  ``cxl-pud-feedback`` -- the same three shapes with the
+  contention-aware cost model (``contention_feedback=True``) switched on,
+  so feedback on/off is itself a sweepable platform axis (the
+  ``contention`` experiment crosses all six).
 
 A variant is a *factory* from a base configuration to a grown one, so the
 same variant applies to the full-size experiment platform and to the tiny
@@ -109,6 +114,24 @@ def _cxl_pud_variant(base: PlatformConfig) -> PlatformConfig:
     return dataclasses.replace(base, cxl_pud=CXLPuDConfig())
 
 
+def with_contention_feedback(config: PlatformConfig) -> PlatformConfig:
+    """The same platform shape with the contention-aware cost model on."""
+    return dataclasses.replace(config, contention_feedback=True)
+
+
+def _feedback_variant(inner: PlatformFactory) -> PlatformFactory:
+    """Compose a variant factory with ``contention_feedback=True``."""
+    def factory(base: PlatformConfig) -> PlatformConfig:
+        return with_contention_feedback(inner(base))
+    return factory
+
+
 register_platform_variant("default", _default_variant)
 register_platform_variant("multicore-isp", _multicore_isp_variant)
 register_platform_variant("cxl-pud", _cxl_pud_variant)
+register_platform_variant("default-feedback",
+                          _feedback_variant(_default_variant))
+register_platform_variant("multicore-isp-feedback",
+                          _feedback_variant(_multicore_isp_variant))
+register_platform_variant("cxl-pud-feedback",
+                          _feedback_variant(_cxl_pud_variant))

@@ -82,7 +82,12 @@ DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
 #: by the configuration objects, so stale cache entries are never reused.
 #: Version 2: the compute-backend registry refactor (dispatch, tie-breaks
 #: and candidate discovery now flow through the platform's backend roster).
-SWEEP_CACHE_VERSION = 2
+#: Version 3: the contention-aware cost model -- ``PlatformConfig`` grew
+#: ``contention_feedback`` / ``contention_ewma_alpha`` / ``contention_gain``
+#: (the canonical config encoding folds them into every key, orphaning
+#: pre-field entries), the CXL tier gained a modelled command link, and
+#: IFP execution-channel traffic moved behind the backend protocol.
+SWEEP_CACHE_VERSION = 3
 
 
 @dataclass

@@ -164,3 +164,20 @@ class IFPBackend(ComputeBackend):
 
     def utilization(self, elapsed: float) -> float:
         return self.channels.die_utilization(elapsed)
+
+    def execution_channel_bytes(self, op: OpType, size_bytes: int,
+                                element_bits: int) -> float:
+        """Flash-channel traffic an in-flash operation generates.
+
+        Ares-Flash arithmetic (notably multiplication) shuttles partial
+        products between the flash chips and the flash controller while
+        it executes (Section 6.4): one page per partial product, i.e.
+        ``element_bits`` page transfers for a multiply and one for an
+        add/subtract.  Flash-Cosmos bitwise MWS needs no channel traffic
+        beyond the command.
+        """
+        if op in (OpType.MUL, OpType.MAC):
+            return float(element_bits * self.unit.page_bytes)
+        if op in (OpType.ADD, OpType.SUB):
+            return float(self.unit.page_bytes)
+        return 0.0

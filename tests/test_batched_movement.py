@@ -163,6 +163,28 @@ class TestGoldenEquivalence:
             assert_close(f"batched-vs-golden {scenario}", field,
                          batched[field], expected)
 
+    def test_batched_matches_per_page_with_contention_feedback(self,
+                                                               programs,
+                                                               scenario):
+        """The movement-engine equivalence is independent of the cost
+        model: with ``contention_feedback=True`` decisions may differ from
+        the goldens, but batched and per-page execution of the same
+        scenario must still agree on every timing, energy and movement
+        counter (the feedback observes movement produced identically by
+        both paths)."""
+        config, built = programs
+        workload, policy = scenario.split("|")
+        feedback = ExperimentConfig(
+            workload_scale=GOLDEN_SCALE,
+            platform=replace(config.platform, contention_feedback=True))
+        per_page = run_scenario(feedback, built[workload], policy,
+                                batched=False)
+        batched = run_scenario(feedback, built[workload], policy,
+                               batched=True)
+        for field, expected in per_page.items():
+            assert_close(f"batched+feedback {scenario}", field,
+                         batched[field], expected)
+
 
 class TestRunPrimitives:
     """Direct unit checks of the batched movement primitives."""

@@ -85,6 +85,18 @@ class TestPlatformVariants:
         assert grown.cxl_pud is not None
         assert "cxl-pud" in backend_roster(grown)
 
+    def test_feedback_variants_registered(self, tiny_config):
+        for name in ("default-feedback", "multicore-isp-feedback",
+                     "cxl-pud-feedback"):
+            assert name in available_platform_variants()
+            grown = platform_variant(name, base=tiny_config.platform)
+            assert grown.contention_feedback is True
+        cxl = platform_variant("cxl-pud-feedback", base=tiny_config.platform)
+        assert cxl.cxl_pud is not None
+        multicore = platform_variant("multicore-isp-feedback",
+                                     base=tiny_config.platform)
+        assert multicore.isp_cores == MULTICORE_ISP_CORES
+
     def test_unknown_variant_lists_known_names(self):
         with pytest.raises(ValueError, match="unknown platform variant"):
             platform_variant("no-such-shape")
@@ -187,7 +199,9 @@ class TestExperimentRegistry:
 
     def test_expected_builtins_present(self):
         assert {"fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "table3",
-                "overheads", "backend_ablation",
+                "overheads", "backend_ablation", "contention",
+                "cost_ablation", "coherence_ablation",
+                "vector_width_ablation",
                 "report"} <= set(available_experiments())
 
     def test_report_composite_covers_the_whole_evaluation(self, tiny_config):
@@ -252,6 +266,59 @@ class TestExperimentRegistry:
         for row in rows:
             if row["roster"] == "default":
                 assert row["speedup_vs_default"] == 1.0
+
+    def test_design_ablations_are_registered_experiments(self, tiny_config):
+        # The cost-model / coherence / vector-width ablations, formerly
+        # hand-rolled in benchmarks/test_bench_ablations.py, run through
+        # the registry like every other experiment.
+        cost = run_experiment("cost_ablation", tiny_config, parallel=False)
+        variants = [row["variant"] for row in cost.sections["cost_ablation"]]
+        assert variants == ["full", "no-queueing-delay", "no-data-movement",
+                            "no-dependence-delay", "sum-of-delays"]
+        coherence = run_experiment("coherence_ablation", tiny_config,
+                                   parallel=False)
+        rows = coherence.sections["coherence_ablation"]
+        assert [row["coherence"] for row in rows] == ["lazy", "strict"]
+        strict = next(row for row in rows if row["coherence"] == "strict")
+        lazy = next(row for row in rows if row["coherence"] == "lazy")
+        assert strict["flushes"] >= lazy["flushes"]
+        widths = run_experiment("vector_width_ablation", tiny_config,
+                                parallel=False)
+        rows = widths.sections["vector_width_ablation"]
+        assert [row["vector_width"] for row in rows] == [4096, 1024, 256]
+        assert rows[-1]["instructions"] > rows[0]["instructions"]
+
+    def test_contention_experiment_pairs_feedback_variants(self,
+                                                           tiny_config):
+        result = run_experiment("contention", tiny_config, parallel=False)
+        rows = result.sections["contention"]
+        # One row per (workload, base roster); the feedback twin's numbers
+        # ride along in the same row.
+        assert {row["roster"] for row in rows} == {"default",
+                                                   "multicore-isp",
+                                                   "cxl-pud"}
+        for row in rows:
+            assert row["greedy_ms"] > 0
+            assert row["feedback_ms"] > 0
+            assert row["host_ms"] > 0
+            assert row["feedback_speedup"] == pytest.approx(
+                row["greedy_ms"] / row["feedback_ms"])
+        assert result.stats[0][1].platforms == 6
+
+    def test_contention_experiment_survives_platform_override(self,
+                                                              tiny_config):
+        # A lone base roster (no twin swept) still renders, with the
+        # feedback columns absent rather than a KeyError.
+        result = run_experiment("contention", tiny_config,
+                                platforms=("cxl-pud",), parallel=False)
+        rows = result.sections["contention"]
+        assert rows and all("feedback_ms" not in row for row in rows)
+        # A lone feedback variant is reported as its own roster.
+        result = run_experiment("contention", tiny_config,
+                                platforms=("cxl-pud-feedback",),
+                                parallel=False)
+        rows = result.sections["contention"]
+        assert {row["roster"] for row in rows} == {"cxl-pud-feedback"}
 
     def test_ablation_baseline_follows_the_swept_axis(self, tiny_config):
         # Without the default roster in the run, the column is relabelled

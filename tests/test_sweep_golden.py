@@ -272,6 +272,13 @@ class TestFig7Goldens:
                 assert ours.end_ns == theirs.end_ns, key
         assert_tables_match_golden(parallel)
 
+    def test_goldens_pin_the_uncorrected_cost_model(self, golden_config):
+        # The contention-aware feedback is opt-in (the `*-feedback`
+        # platform variants); the shared experiment platform leaves it
+        # off, which is what keeps every table in this file bit-exact.
+        # Re-pin the goldens if this default ever flips.
+        assert golden_config.platform.contention_feedback is False
+
     def test_run_experiment_engine_reproduces_goldens(self, golden_config,
                                                       serial_results):
         # The declarative experiment API must be a pure re-plumbing: the
