@@ -21,6 +21,8 @@ and the parallel engine divides the remaining wall-clock by the worker
 count on multi-core machines.
 """
 
+import dataclasses
+import json
 import os
 import time
 
@@ -159,6 +161,70 @@ def test_bench_parallel_sweep_speedup(benchmark, bench_config):
         assert speedup >= 2.0, (
             f"parallel sweep only {speedup:.2f}x faster with {workers} "
             f"workers on {cpus} CPUs")
+
+
+#: Where the vectorized-engine perf record lands (repo root, next to the
+#: other ``BENCH_*`` archives the docstring describes).
+BENCH_RECORD_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                                 "BENCH_vectorized.json")
+
+#: The paired A/B numbers recorded when the vectorized engine landed
+#: (PR 6): Fig. 7 serial sweep at scale 0.25, alternating
+#: baseline/current subprocesses on the same machine, best-vs-best over
+#: 8 pairs.  Kept in the record so the trajectory has its anchor even
+#: when the live run below executes on different hardware.
+PR6_LANDING_RECORD = {
+    "scale": 0.25,
+    "pr5_baseline_best_s": 2.434,
+    "vectorized_best_s": 1.057,
+    "speedup_best_vs_best": 2.30,
+    "per_pair_speedup_range": [2.0, 4.3],
+    "methodology": ("paired A/B subprocess harness, alternating engines, "
+                    "warm run timed; best-vs-best is the conservative "
+                    "ratio under machine noise"),
+}
+
+
+def test_bench_vectorized_engine_record(benchmark, bench_config):
+    """Time both movement engines on one Fig. 7 sweep; archive the record.
+
+    The live numbers track the vectorized/object ratio on the current
+    machine; the archived JSON also carries the pinned PR 6 landing
+    measurement against the PR 5 baseline so the perf trajectory is
+    recorded even as hardware changes underneath CI.
+    """
+    object_config = dataclasses.replace(
+        bench_config,
+        platform=dataclasses.replace(bench_config.platform,
+                                     vectorized_movement=False))
+
+    def both_engines():
+        vec_results, vec_s = _full_sweep(bench_config)
+        obj_results, obj_s = _full_sweep(object_config)
+        return vec_results, vec_s, obj_results, obj_s
+
+    vec_results, vec_s, obj_results, obj_s = run_once(benchmark,
+                                                      both_engines)
+    # Bit-equality is the engines' contract; a perf benchmark that
+    # silently compared different answers would be meaningless.
+    _assert_identical(vec_results, obj_results)
+    ratio = obj_s / vec_s if vec_s else float("inf")
+    record = {
+        "bench_scale": BENCH_SCALE,
+        "sweep_pairs": len(vec_results),
+        "vectorized_sweep_s": vec_s,
+        "object_sweep_s": obj_s,
+        "vectorized_over_object_speedup": ratio,
+        "pr6_landing_vs_pr5": PR6_LANDING_RECORD,
+    }
+    with open(BENCH_RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    benchmark.extra_info.update(record)
+    print(f"\nVectorized engine: {vec_s:.2f} s vs object engine "
+          f"{obj_s:.2f} s at scale {BENCH_SCALE} = {ratio:.2f}x "
+          f"(record: {os.path.abspath(BENCH_RECORD_PATH)})")
+    assert vec_s > 0 and obj_s > 0
 
 
 @pytest.mark.slow

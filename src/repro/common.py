@@ -97,6 +97,11 @@ class OpType(enum.Enum):
     BRANCH = "branch"
     CALL = "call"
 
+    # Members are singletons, so the identity hash is consistent with
+    # equality and avoids re-hashing the member name on every dict/set
+    # probe (these enums key the simulator's hottest tables).
+    __hash__ = object.__hash__
+
     @property
     def is_bitwise(self) -> bool:
         return self in _BITWISE_OPS
@@ -208,6 +213,8 @@ class Resource(enum.Enum):
     HOST_CPU = "host-cpu"
     HOST_GPU = "host-gpu"
 
+    __hash__ = object.__hash__
+
     @property
     def is_in_ssd(self) -> bool:
         return self in (Resource.ISP, Resource.PUD, Resource.IFP)
@@ -265,6 +272,8 @@ class DataLocation(enum.Enum):
     SSD_DRAM = "ssd-dram"
     CTRL_SRAM = "controller-sram"
     HOST = "host"
+
+    __hash__ = object.__hash__
 
 
 #: The resource at which data is considered "local" for each location.

@@ -153,6 +153,7 @@ class BackendRegistry:
 
     def __init__(self) -> None:
         self._backends: "Dict[ResourceLike, ComputeBackend]" = {}
+        self._candidates: Optional[Tuple[ResourceLike, ...]] = None
 
     # -- Registration --------------------------------------------------------
 
@@ -162,6 +163,7 @@ class BackendRegistry:
             raise SimulationError(
                 f"compute backend {key!r} is already registered")
         self._backends[key] = backend
+        self._candidates = None
         return backend
 
     # -- Lookup --------------------------------------------------------------
@@ -195,9 +197,17 @@ class BackendRegistry:
     # -- Candidate discovery -------------------------------------------------
 
     def offload_candidates(self) -> Tuple[ResourceLike, ...]:
-        """Identities of the backends the SSD offloader may target."""
-        return tuple(key for key, backend in self._backends.items()
-                     if backend.offloadable)
+        """Identities of the backends the SSD offloader may target.
+
+        The tuple is cached (and invalidated on registration): the feature
+        collector asks once per instruction.
+        """
+        candidates = self._candidates
+        if candidates is None:
+            candidates = tuple(key for key, backend in self._backends.items()
+                               if backend.offloadable)
+            self._candidates = candidates
+        return candidates
 
     def backends_of_kind(self, kind: Resource) -> List[ComputeBackend]:
         """All registered backends of one resource family."""

@@ -30,6 +30,11 @@ from repro.common import DataLocation, SimulationError
 VERSION_BITS = 8
 _VERSION_WRAP = 2 ** VERSION_BITS
 
+#: Shared empty action list: returned (and never mutated) by the run-level
+#: hooks when no synchronisation is needed, so clean-path calls allocate
+#: nothing.
+_NO_ACTIONS: List["SyncAction"] = []
+
 
 class PageCoherenceState(enum.Enum):
     CLEAN = "clean"
@@ -43,7 +48,7 @@ class CoherencePolicy(enum.Enum):
     STRICT = "strict"
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceEntry:
     """Owner / state / version triple for one logical page."""
 
@@ -132,22 +137,33 @@ class CoherenceDirectory:
         """
         end = base_lpa + count
         dirty = self._dirty
-        if dirty:
-            if len(dirty) <= count:
-                overlap = any(base_lpa <= lpa < end for lpa in dirty)
-            else:
-                overlap = not dirty.isdisjoint(range(base_lpa, end))
-        else:
-            overlap = False
-        if not overlap:
-            entries = self._entries
+        entries = self._entries
+        if not dirty:
+            # Clean run (the steady state): no commits are possible; only
+            # the run's tracking entries are materialised.
             for lpa in range(base_lpa, end):
                 if lpa not in entries:
                     entries[lpa] = CoherenceEntry()
-            return []
+            return _NO_ACTIONS
+        if len(dirty) <= count:
+            dirty_in_run = sorted(
+                lpa for lpa in dirty if base_lpa <= lpa < end)
+        else:
+            dirty_in_run = [lpa for lpa in range(base_lpa, end)
+                            if lpa in dirty]
         actions: List[SyncAction] = []
+        # Only dirty pages can generate commits; visiting them in ascending
+        # LPA order reproduces the per-page scan's action order.  (The list
+        # is materialized first because committing mutates the dirty index.)
+        for lpa in dirty_in_run:
+            entry = entries[lpa]
+            if entry.owner is not reader_location:
+                actions.append(SyncAction(lpa=lpa, from_location=entry.owner,
+                                          reason="remote read of dirty page"))
+                self._commit(lpa, entry)
         for lpa in range(base_lpa, end):
-            actions.extend(self.on_read(lpa, reader_location))
+            if lpa not in entries:
+                entries[lpa] = CoherenceEntry()
         return actions
 
     # -- Writes -----------------------------------------------------------------
@@ -181,10 +197,41 @@ class CoherenceDirectory:
     def on_write_run(self, base_lpa: int, count: int,
                      writer_location: DataLocation) -> List[SyncAction]:
         """Run-granular :meth:`on_write` (every write mutates its entry)."""
-        actions: List[SyncAction] = []
+        if self.policy is not CoherencePolicy.LAZY:
+            actions = []
+            for lpa in range(base_lpa, base_lpa + count):
+                actions.extend(self.on_write(lpa, writer_location))
+            return actions
+        # Inlined lazy-path :meth:`on_write` (no strict write-through).
+        entries = self._entries
+        dirty_add = self._dirty.add
+        dirty_state = PageCoherenceState.DIRTY
+        actions: Optional[List[SyncAction]] = None
         for lpa in range(base_lpa, base_lpa + count):
-            actions.extend(self.on_write(lpa, writer_location))
-        return actions
+            entry = entries.get(lpa)
+            if entry is None:
+                entry = entries[lpa] = CoherenceEntry()
+            if (entry.state is dirty_state
+                    and entry.owner is not writer_location):
+                if actions is None:
+                    actions = []
+                actions.append(SyncAction(
+                    lpa=lpa, from_location=entry.owner,
+                    reason="remote write of dirty page"))
+                self._commit(lpa, entry)
+            entry.owner = writer_location
+            entry.state = dirty_state
+            dirty_add(lpa)
+            entry.version += 1
+            if entry.version >= _VERSION_WRAP:
+                if actions is None:
+                    actions = []
+                actions.append(SyncAction(
+                    lpa=lpa, from_location=entry.owner,
+                    reason="version counter wrap"))
+                self._commit(lpa, entry)
+                self.version_wraps += 1
+        return _NO_ACTIONS if actions is None else actions
 
     # -- Evictions / maintenance -----------------------------------------------------
 

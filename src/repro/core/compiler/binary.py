@@ -54,6 +54,17 @@ class BinaryEncoder:
     """Encodes a :class:`VectorProgram` into a Conduit binary image."""
 
     def encode(self, program: VectorProgram) -> ConduitBinary:
+        # The encoding is deterministic and depends only on the program
+        # contents, so one image per program object suffices; the program
+        # invalidates the cache on mutation.
+        cached = getattr(program, "_encoded_binary", None)
+        if cached is not None:
+            return cached
+        binary = self._encode(program)
+        program._encoded_binary = binary
+        return binary
+
+    def _encode(self, program: VectorProgram) -> ConduitBinary:
         arrays = sorted(program.arrays.values(), key=lambda a: a.name)
         array_ids = {spec.name: index for index, spec in enumerate(arrays)}
         header = {

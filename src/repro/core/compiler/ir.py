@@ -51,6 +51,28 @@ class ArrayRef:
     offset: int
     length: int
 
+    def __post_init__(self) -> None:
+        # References key the layout's memoized run resolutions, so their
+        # hash is probed on every operand lookup; cache it (the value is
+        # identical to the generated field-tuple hash).
+        object.__setattr__(self, "_hash",
+                           hash((self.array, self.offset, self.length)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        # Same contract as the generated field-tuple __eq__, with an
+        # identity fast path: layout-cache probes compare refs that are
+        # usually the same object or differ in a trailing field.
+        if self is other:
+            return True
+        if other.__class__ is ArrayRef:
+            return (self.array == other.array
+                    and self.offset == other.offset
+                    and self.length == other.length)
+        return NotImplemented
+
     def size_bytes(self, element_bits: int) -> int:
         return self.length * element_bits // 8
 
@@ -117,6 +139,12 @@ class VectorInstruction:
         if self.element_bits not in (8, 16, 32, 64):
             raise SimulationError(
                 f"unsupported element width {self.element_bits}")
+        # Operands and widths are fixed at construction, so the derived
+        # operand size and source-reference list are materialized once
+        # (the offloader reads both on every feature collection).
+        self.size_bytes: int = self.vector_length * self.element_bits // 8
+        self.array_sources: List[ArrayRef] = [
+            s for s in self.sources if isinstance(s, ArrayRef)]
         if self.metadata is None:
             self.metadata = InstructionMetadata(
                 op_class=OpClass.of(self.op),
@@ -125,15 +153,6 @@ class VectorInstruction:
                 vector_length=self.vector_length,
                 operand_bytes=self.size_bytes,
             )
-
-    @property
-    def size_bytes(self) -> int:
-        """Bytes of data this instruction operates on (per operand)."""
-        return self.vector_length * self.element_bits // 8
-
-    @property
-    def array_sources(self) -> List[ArrayRef]:
-        return [s for s in self.sources if isinstance(s, ArrayRef)]
 
     @property
     def is_vector(self) -> bool:
@@ -154,6 +173,13 @@ class VectorProgram:
         self.name = name
         self.arrays: Dict[str, ArraySpec] = {a.name: a for a in arrays}
         self.instructions: List[VectorInstruction] = []
+        #: Encoded-binary cache maintained by the binary encoder; any
+        #: mutation of the program invalidates it.
+        self._encoded_binary = None
+        #: Canonical instance per distinct operand reference.  Interning at
+        #: build time turns the layout cache's equality probes (one per
+        #: operand per offload) into pure identity hits.
+        self._ref_intern: Dict[ArrayRef, ArrayRef] = {}
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -165,6 +191,7 @@ class VectorProgram:
 
     def declare_array(self, spec: ArraySpec) -> ArraySpec:
         self.arrays[spec.name] = spec
+        self._encoded_binary = None
         return spec
 
     def add(self, instruction: VectorInstruction) -> VectorInstruction:
@@ -174,7 +201,16 @@ class VectorProgram:
                 raise SimulationError(
                     f"instruction {instruction.uid} references undeclared "
                     f"array '{ref.array}'")
+        intern = self._ref_intern.setdefault
+        if instruction.dest is not None:
+            instruction.dest = intern(instruction.dest, instruction.dest)
+        instruction.sources = tuple(
+            intern(s, s) if s.__class__ is ArrayRef else s
+            for s in instruction.sources)
+        instruction.array_sources = [
+            s for s in instruction.sources if s.__class__ is ArrayRef]
         self.instructions.append(instruction)
+        self._encoded_binary = None
         return instruction
 
     # -- Queries ------------------------------------------------------------------

@@ -18,7 +18,7 @@ from repro.common import OpType, Resource, ResourceLike, SSD_RESOURCES
 from repro.energy.model import EnergyBreakdown
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionRecord:
     """Timing of one executed instruction."""
 

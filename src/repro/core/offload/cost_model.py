@@ -38,7 +38,7 @@ class CostModelConfig:
     include_compute_latency: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class CostEstimate:
     """Per-backend cost of one instruction."""
 
@@ -102,15 +102,18 @@ class CostFunction:
         no meaning for registry-minted identities).
         """
         self.evaluations += 1
-        estimates = self.estimate_all(features)
-        viable = {resource: estimate
-                  for resource, estimate in estimates.items()
-                  if estimate.supported}
-        if not viable:
+        estimate = self.estimate
+        estimates: Dict[ResourceLike, CostEstimate] = {}
+        target: Optional[ResourceLike] = None
+        best = float("inf")
+        # One pass in registration order; a strict < keeps the first
+        # minimum, which is exactly the registration-order tie-break.
+        for resource, feature in features.per_resource.items():
+            cost = estimates[resource] = estimate(feature)
+            if cost.supported and cost.total_latency_ns < best:
+                target = resource
+                best = cost.total_latency_ns
+        if target is None:
             raise SimulationError(
                 f"no SSD resource supports operation {features.op.value}")
-        order = {resource: index
-                 for index, resource in enumerate(features.candidates)}
-        target = min(viable, key=lambda r: (viable[r].total_latency_ns,
-                                            order[r]))
         return target, estimates

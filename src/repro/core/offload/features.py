@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.common import DataLocation, OpType, ResourceLike, US
 from repro.core.compiler.ir import VectorInstruction
 from repro.core.layout import ArrayLayout
-from repro.core.platform import SSDPlatform
+from repro.core.platform import CODE_LOCATIONS, SSDPlatform
 
 #: Fixed per-component collection latencies from Section 4.5.
 L2P_DRAM_LOOKUP_NS = 100.0
@@ -42,7 +42,7 @@ COMPUTE_TABLE_LOOKUP_NS = 150.0
 CONTENTION_SAMPLE_NS = 100.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceFeatures:
     """Per-backend feature values for one instruction."""
 
@@ -82,7 +82,7 @@ class ResourceFeatures:
                 self.contended_data_movement_latency_ns + overlap)
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionFeatures:
     """The full feature vector of one instruction (all six features)."""
 
@@ -91,6 +91,10 @@ class InstructionFeatures:
     operand_locations: Dict[DataLocation, int]
     per_resource: Dict[ResourceLike, ResourceFeatures]
     collection_latency_ns: float
+    #: The source operands' resolved ``(base_lpa, count)`` runs, carried so
+    #: the dispatch path reuses the collector's resolution instead of
+    #: re-resolving each operand (``None`` when built without a collector).
+    source_runs: Optional[List[Tuple[int, int]]] = None
 
     def feature(self, resource: ResourceLike) -> ResourceFeatures:
         return self.per_resource[resource]
@@ -127,6 +131,15 @@ class FeatureCollector:
         self.collections = 0
         self.total_collection_latency_ns = 0.0
         self.max_collection_latency_ns = 0.0
+        # Static per-candidate facts -- support, home location, the
+        # precomputed compute-latency point and the execution-queue handle
+        # -- depend only on (op, size_bytes, element_bits) and the fixed
+        # backend roster, so they are resolved once per shape
+        # (Section 4.5's precomputed tables) instead of per instruction.
+        self._static_features: Dict[
+            Tuple[OpType, int, int],
+            List[Tuple[ResourceLike, DataLocation, bool, float,
+                       "ExecutionQueue"]]] = {}
 
     # -- Operand runs / pages -----------------------------------------------------
 
@@ -166,18 +179,49 @@ class FeatureCollector:
         # (2) operand location: one pass over the operand runs resolves the
         # location histogram (via the residence index) and the L2P lookup
         # cost (one mapping-cache probe per page, preserving the cache's
-        # LRU order) together, instead of two per-page sweeps.
-        residence = platform.residence
-        mapping_lookup = platform.ssd.ftl.cache.lookup
+        # LRU order) together, instead of two per-page sweeps.  The probe
+        # is inlined (a hit only refreshes LRU recency; a probe for an
+        # uncached page has no side effect), keeping the per-page loop
+        # free of method calls.
+        residence_get = platform.residence.get
+        entries = platform.ssd.ftl.cache._entries
+        move_to_end = entries.move_to_end
         flash = DataLocation.FLASH
         locations: Dict[DataLocation, int] = {}
+        locations_get = locations.get
         l2p_hits = 0
         l2p_misses = 0
+        # Under the vectorized engine the flat code array mirrors the
+        # residence dict, so a uniform run (the common case) resolves its
+        # histogram entry with one C-level byte count; mixed runs keep the
+        # page-ordered walk so the histogram's first-occurrence insertion
+        # order -- and with it the movement sum's accumulation order -- is
+        # untouched.
+        codes_bytes = platform._codes_bytes
         for base, run_pages in runs:
-            for lpa in range(base, base + run_pages):
-                location = residence.get(lpa, flash)
-                locations[location] = locations.get(location, 0) + 1
-                if mapping_lookup(lpa) is not None:
+            end = base + run_pages
+            if codes_bytes is not None:
+                if len(codes_bytes) < end:
+                    platform._codes_for(end)
+                    codes_bytes = platform._codes_bytes
+                run_codes = codes_bytes[base:end]
+                first = run_codes[0]
+                if run_pages == 1 or run_codes.count(first) == run_pages:
+                    location = CODE_LOCATIONS[first]
+                    locations[location] = (locations_get(location, 0)
+                                           + run_pages)
+                    for lpa in range(base, end):
+                        if lpa in entries:
+                            move_to_end(lpa)
+                            l2p_hits += 1
+                        else:
+                            l2p_misses += 1
+                    continue
+            for lpa in range(base, end):
+                location = residence_get(lpa, flash)
+                locations[location] = locations_get(location, 0) + 1
+                if lpa in entries:
+                    move_to_end(lpa)
                     l2p_hits += 1
                 else:
                     l2p_misses += 1
@@ -188,8 +232,9 @@ class FeatureCollector:
         dependence_delay = (pending_producer_latency
                             if self.config.include_dependence_delay else 0.0)
         collection_ns += DEPENDENCE_SCAN_NS_PER_QUEUE
-        # (4) queueing delay: read each resource's running latency counter.
-        queue_delays = platform.queues.queueing_delays(now)
+        # (4) queueing delay: read each resource's running latency counter
+        # (read per candidate below; reading is side-effect free).
+        include_queueing = self.config.include_queueing_delay
         collection_ns += QUEUE_DELAY_TRACK_NS
         # (5b) link-contention feedback: each candidate's movement
         # estimate below pays the EWMA-observed overrun of its operand
@@ -198,49 +243,62 @@ class FeatureCollector:
         feedback = platform.config.contention_feedback
         if feedback:
             collection_ns += CONTENTION_SAMPLE_NS
+        include_movement = self.config.include_data_movement
+        move_table = platform._move_table
+        op = instruction.op
+        size_bytes = instruction.size_bytes
+        element_bits = instruction.element_bits
+        static_key = (op, size_bytes, element_bits)
+        static = self._static_features.get(static_key)
+        if static is None:
+            backends = platform.backends
+            queues = platform.queues.queues
+            static = []
+            for resource in platform.offload_candidates():
+                backend = backends[resource]
+                supported = backend.supports(op)
+                static.append((
+                    resource, backend.home_location, supported,
+                    backend.operation_latency(op, size_bytes, element_bits)
+                    if supported else float("inf"), queues[resource]))
+            self._static_features[static_key] = static
+        # (5)/(6) movement and computation latency from the precomputed
+        # tables: one fixed-cost lookup pair per candidate.  Every
+        # collection-latency term is an integer-valued float, so summing
+        # the per-candidate constants in one multiply is exact.
+        collection_ns += ((MOVE_TABLE_LOOKUP_NS + COMPUTE_TABLE_LOOKUP_NS)
+                          * len(static))
+        # Most instructions find every operand page in one location; the
+        # single-entry histogram turns the per-candidate movement sum into
+        # one table probe.
+        single_location = None
+        if include_movement and len(locations) == 1:
+            (single_location, single_pages), = locations.items()
+        location_items = locations.items()
         per_resource: Dict[ResourceLike, ResourceFeatures] = {}
-        for resource in platform.offload_candidates():
-            backend = platform.backends[resource]
-            supported = backend.supports(instruction.op)
-            # (5) data-movement latency from the precomputed table.
-            home = backend.home_location
-            movement = 0.0
-            if self.config.include_data_movement:
-                for location, pages in locations.items():
-                    movement += platform.estimate_move_latency(location, home,
-                                                               pages)
-            collection_ns += MOVE_TABLE_LOOKUP_NS
-            # (6) expected computation latency from the precomputed table.
-            if supported:
-                compute = backend.operation_latency(instruction.op,
-                                                    instruction.size_bytes,
-                                                    instruction.element_bits)
+        for resource, home, supported, compute, queue in static:
+            if single_location is not None:
+                movement = move_table[(single_location, home)] * single_pages
+            elif include_movement:
+                movement = 0.0
+                for location, pages in location_items:
+                    movement += move_table[(location, home)] * pages
             else:
-                compute = float("inf")
-            collection_ns += COMPUTE_TABLE_LOOKUP_NS
-            queue_delay = (queue_delays[resource]
-                           if self.config.include_queueing_delay else 0.0)
+                movement = 0.0
+            queue_delay = (queue._pending_latency / queue._parallelism
+                           if include_queueing else 0.0)
             per_resource[resource] = ResourceFeatures(
-                resource=resource, supported=supported,
-                expected_compute_latency_ns=compute,
-                data_movement_latency_ns=movement,
-                queueing_delay_ns=queue_delay,
-                dependence_delay_ns=dependence_delay,
-                contention_delay_ns=(
-                    platform.contention_penalty_ns(
-                        resource, instruction.op, instruction.size_bytes,
-                        instruction.element_bits, movement, now)
-                    if feedback else 0.0),
-            )
+                resource, supported, compute, movement, queue_delay,
+                dependence_delay,
+                platform.contention_penalty_ns(resource, op, size_bytes,
+                                               element_bits, movement, now)
+                if feedback else 0.0)
         self.collections += 1
         self.total_collection_latency_ns += collection_ns
-        self.max_collection_latency_ns = max(self.max_collection_latency_ns,
-                                             collection_ns)
-        return InstructionFeatures(
-            instruction_uid=instruction.uid, op=instruction.op,
-            operand_locations=locations, per_resource=per_resource,
-            collection_latency_ns=collection_ns,
-        )
+        if collection_ns > self.max_collection_latency_ns:
+            self.max_collection_latency_ns = collection_ns
+        return InstructionFeatures(instruction.uid, op, locations,
+                                   per_resource, collection_ns, runs)
 
     @property
     def average_collection_latency_ns(self) -> float:

@@ -55,7 +55,7 @@ class OffloaderConfig:
         default_factory=FeatureCollectorConfig)
 
 
-@dataclass
+@dataclass(slots=True)
 class OffloadDecision:
     """Everything the runtime needs to know about one offloaded instruction."""
 
@@ -86,25 +86,44 @@ class SSDOffloader:
                                           self.config.feature_config)
         self.transformer = InstructionTransformer(platform)
         self.decisions: List[OffloadDecision] = []
+        # Dispatch-loop constants and handles, resolved once: the offload
+        # path runs per instruction and per policy.
+        self._pipeline_depth = max(1, self.config.pipeline_depth)
+        self._is_ideal = policy.is_ideal
+        self._choose = policy.choose
+        self._collect = self.collector.collect
+        self._transform = self.transformer.transform
+        self._dispatch_core = platform.dispatch_core
+        #: One reusable policy context; policies read it synchronously
+        #: inside ``choose`` and never retain it.
+        self._context = PolicyContext(platform=platform, now=0.0, elapsed=1.0)
         #: In-flight queue entries: backend -> min-heap of (end time, uid),
         #: so draining pops only the entries that actually completed instead
         #: of rebuilding the whole list on every offload call.  Keys come
         #: from the platform's backend registry, not a hardcoded trio.
         self._in_flight: Dict[ResourceLike, List[Tuple[float, int]]] = {
             resource: [] for resource in platform.offload_candidates()}
+        #: Earliest completion time across the in-flight heaps; draining
+        #: is a no-op before this, so the per-offload scan is skipped.
+        self._next_retire = float("inf")
 
     # -- Queue bookkeeping ---------------------------------------------------------
 
     def _drain_queues(self, now: float) -> None:
         """Retire queue entries whose completion time has passed."""
-        queues = self.platform.queues
+        if now < self._next_retire:
+            return
+        queues = self.platform.queues.queues
+        next_retire = float("inf")
         for resource, heap in self._in_flight.items():
-            if not heap or heap[0][0] > now:
-                continue
-            queue = queues[resource]
-            while heap and heap[0][0] <= now:
-                _, uid = heapq.heappop(heap)
-                queue.complete(uid)
+            if heap and heap[0][0] <= now:
+                queue = queues[resource]
+                while heap and heap[0][0] <= now:
+                    _, uid = heapq.heappop(heap)
+                    queue.complete(uid)
+            if heap and heap[0][0] < next_retire:
+                next_retire = heap[0][0]
+        self._next_retire = next_retire
 
     # -- Main entry point -------------------------------------------------------------
 
@@ -117,29 +136,39 @@ class SSDOffloader:
         its producers finish, and ``elapsed_ns`` is the current wall-clock
         used for utilization-based policies.
         """
-        platform = self.platform
-        self._drain_queues(arrival_ns)
-        pending_producer = max(0.0, deps_ready_ns - arrival_ns)
-        features = self.collector.collect(instruction, arrival_ns,
-                                          pending_producer)
-        context = PolicyContext(platform=platform, now=arrival_ns,
-                                elapsed=max(elapsed_ns, 1.0))
-        resource = self.policy.choose(instruction, features, context)
+        if arrival_ns >= self._next_retire:
+            self._drain_queues(arrival_ns)
+        pending_producer = deps_ready_ns - arrival_ns
+        if pending_producer < 0.0:
+            pending_producer = 0.0
+        features = self._collect(instruction, arrival_ns, pending_producer)
+        context = self._context
+        context.now = arrival_ns
+        context.elapsed = elapsed_ns if elapsed_ns > 1.0 else 1.0
+        resource = self._choose(instruction, features, context)
         overhead_ns = features.collection_latency_ns
         transformed: Optional[TransformedInstruction] = None
-        if not self.policy.is_ideal:
-            transformed = self.transformer.transform(instruction, resource)
+        if not self._is_ideal:
+            transformed = self._transform(instruction, resource)
             overhead_ns += transformed.lookup_latency_ns
-        serial_ns = overhead_ns / max(1, self.config.pipeline_depth)
-        dispatch = platform.dispatch_core.reserve(arrival_ns, serial_ns)
-        issue_ns = dispatch.start + overhead_ns
+        # Inlined single-server dispatch-core reservation (the serial
+        # occupancy is always nonnegative, so the negative-duration guard
+        # of Server.reserve cannot fire).
+        serial_ns = overhead_ns / self._pipeline_depth
+        core = self._dispatch_core
+        free = core._free_at
+        dispatch_start = arrival_ns if arrival_ns >= free else free
+        core._free_at = dispatch_start + serial_ns
+        core.busy_time += serial_ns
+        core.jobs += 1
+        issue_ns = dispatch_start + overhead_ns
 
-        if self.policy.is_ideal:
+        if self._is_ideal:
             return self._execute_ideal(instruction, features, resource,
-                                       dispatch.start, issue_ns,
+                                       dispatch_start, issue_ns,
                                        deps_ready_ns, overhead_ns)
         return self._execute_real(instruction, features, resource,
-                                  transformed, dispatch.start, issue_ns,
+                                  transformed, dispatch_start, issue_ns,
                                   deps_ready_ns, overhead_ns)
 
     # -- Ideal execution (no contention, free data movement) ------------------------------
@@ -149,17 +178,15 @@ class SSDOffloader:
                        dispatch_ns: float, issue_ns: float,
                        deps_ready_ns: float,
                        overhead_ns: float) -> OffloadDecision:
-        compute = features.feature(resource).expected_compute_latency_ns
-        start = max(issue_ns, deps_ready_ns)
+        compute = features.per_resource[resource].expected_compute_latency_ns
+        start = issue_ns if issue_ns >= deps_ready_ns else deps_ready_ns
         end = start + compute
         self.platform.record_compute(start, resource, instruction.op,
                                      instruction.size_bytes,
                                      instruction.element_bits)
-        decision = OffloadDecision(
-            instruction=instruction, resource=resource, features=features,
-            transformed=None, dispatch_ns=dispatch_ns, ready_ns=start,
-            start_ns=start, end_ns=end, compute_ns=compute,
-            data_movement_ns=0.0, overhead_ns=overhead_ns)
+        decision = OffloadDecision(instruction, resource, features, None,
+                                   dispatch_ns, start, start, end, compute,
+                                   0.0, overhead_ns)
         self.decisions.append(decision)
         return decision
 
@@ -172,18 +199,28 @@ class SSDOffloader:
                       deps_ready_ns: float,
                       overhead_ns: float) -> OffloadDecision:
         platform = self.platform
-        home = platform.home_location(resource)
-        source_runs = self.collector.operand_runs(instruction)
+        backend = platform.backends._backends[resource]
+        home = backend.home_location
+        op = instruction.op
+        size_bytes = instruction.size_bytes
+        element_bits = instruction.element_bits
+        uid = instruction.uid
+        source_runs = features.source_runs
+        if source_runs is None:
+            source_runs = self.collector.operand_runs(instruction)
         dest_run = self.collector.destination_run(instruction)
 
-        move_start = max(issue_ns, deps_ready_ns)
+        move_start = issue_ns if issue_ns >= deps_ready_ns else deps_ready_ns
         # Lazy coherence: a read of a page whose dirty copy lives elsewhere
         # commits that page to flash before it can be re-read.
         commit_end = move_start
+        on_read_run = platform.coherence.on_read_run
         for base, count in source_runs:
-            for action in platform.coherence.on_read_run(base, count, home):
-                commit_end = max(commit_end, platform.ensure_pages_at(
-                    move_start, (action.lpa,), DataLocation.FLASH))
+            for action in on_read_run(base, count, home):
+                end = platform.ensure_pages_at(
+                    move_start, (action.lpa,), DataLocation.FLASH)
+                if end > commit_end:
+                    commit_end = end
         dm_end = platform.ensure_runs_at(commit_end, source_runs, home)
         data_movement_ns = dm_end - move_start
         # Live contention feedback: report how long reaching this operand
@@ -195,28 +232,37 @@ class SSDOffloader:
         # between homes surfaces as commit delay, and attributing it to
         # the path being entered is what lets the feedback price the
         # write-sharing churn the greedy model is blind to.
-        platform.observe_movement_contention(
-            resource, features.feature(resource).data_movement_latency_ns,
-            data_movement_ns)
+        if platform.config.contention_feedback:
+            platform.observe_movement_contention(
+                resource,
+                features.per_resource[resource].data_movement_latency_ns,
+                data_movement_ns)
 
-        compute = platform.compute_latency(resource, instruction.op,
-                                           instruction.size_bytes,
-                                           instruction.element_bits)
-        queue = platform.queues[resource]
-        queue.enqueue(instruction.uid, issue_ns, compute)
-        ready = max(dm_end, deps_ready_ns)
-        reservation = queue.reserve(instruction.uid, ready, compute)
-        heapq.heappush(self._in_flight[resource],
-                       (reservation.end, instruction.uid))
-        platform.record_compute(reservation.start, resource, instruction.op,
-                                instruction.size_bytes,
-                                instruction.element_bits)
+        # The collector already resolved this candidate's precomputed
+        # latency point; reuse it (identical memoized float) rather than
+        # walking the backend chain again.
+        chosen = features.per_resource.get(resource)
+        if chosen is not None and chosen.supported:
+            compute = chosen.expected_compute_latency_ns
+        else:
+            compute = backend.operation_latency(op, size_bytes, element_bits)
+        queue = platform.queues.queues[resource]
+        queue.enqueue(uid, issue_ns, compute)
+        ready = dm_end if dm_end >= deps_ready_ns else deps_ready_ns
+        reservation = queue.reserve(uid, ready, compute)
+        end_ns = reservation.end
+        heapq.heappush(self._in_flight[resource], (end_ns, uid))
+        if end_ns < self._next_retire:
+            self._next_retire = end_ns
+        backend.execute(reservation.start, op, size_bytes, element_bits)
+        platform.energy.add_compute(
+            resource, backend.operation_energy(op, size_bytes, element_bits))
         # Execution-time shared-channel traffic (Ares-Flash shuttles
         # partial products between the flash chips and the controller,
         # Section 6.4) is declared by the backend and occupies the shared
         # flash channels during execution.
-        channel_bytes = platform.backends[resource].execution_channel_bytes(
-            instruction.op, instruction.size_bytes, instruction.element_bits)
+        channel_bytes = backend.execution_channel_bytes(
+            op, size_bytes, element_bits)
         if channel_bytes:
             platform.ssd.channels.channels.transfer(reservation.start,
                                                     channel_bytes)
@@ -226,12 +272,10 @@ class SSDOffloader:
             platform.coherence.on_write_run(dest_run[0], dest_run[1], home)
             platform.mark_produced_run(reservation.end, (dest_run,), home)
 
-        decision = OffloadDecision(
-            instruction=instruction, resource=resource, features=features,
-            transformed=transformed, dispatch_ns=dispatch_ns, ready_ns=ready,
-            start_ns=reservation.start, end_ns=reservation.end,
-            compute_ns=compute, data_movement_ns=data_movement_ns,
-            overhead_ns=overhead_ns)
+        decision = OffloadDecision(instruction, resource, features,
+                                   transformed, dispatch_ns, ready,
+                                   reservation.start, end_ns, compute,
+                                   data_movement_ns, overhead_ns)
         self.decisions.append(decision)
         return decision
 

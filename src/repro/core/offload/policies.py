@@ -30,7 +30,7 @@ from repro.core.offload.features import InstructionFeatures
 from repro.core.platform import SSDPlatform
 
 
-@dataclass
+@dataclass(slots=True)
 class PolicyContext:
     """Runtime information handed to a policy alongside the features."""
 
@@ -62,33 +62,35 @@ class OffloadingPolicy(abc.ABC):
 
     def _supported(self, features: InstructionFeatures
                    ) -> Dict[ResourceLike, bool]:
-        return {resource: features.feature(resource).supported
-                for resource in features.candidates}
+        return {resource: feature.supported
+                for resource, feature in features.per_resource.items()}
 
     @staticmethod
     def _viable(features: InstructionFeatures) -> List[ResourceLike]:
         """Supported candidates in registration order."""
-        return [resource for resource in features.candidates
-                if features.feature(resource).supported]
+        return [resource
+                for resource, feature in features.per_resource.items()
+                if feature.supported]
 
     @staticmethod
     def _of_kind(features: InstructionFeatures,
                  kind: Resource) -> List[ResourceLike]:
         """Candidates of one resource family, in registration order."""
-        return [resource for resource in features.candidates
+        return [resource for resource in features.per_resource
                 if resource.kind is kind]
 
     @classmethod
     def _least_queued(cls, features: InstructionFeatures,
                       candidates: List[ResourceLike]) -> ResourceLike:
         """The least-backlogged candidate (ties keep registration order)."""
+        per_resource = features.per_resource
         return min(candidates,
-                   key=lambda r: features.feature(r).queueing_delay_ns)
+                   key=lambda r: per_resource[r].queueing_delay_ns)
 
     @staticmethod
     def _fallback(features: InstructionFeatures) -> ResourceLike:
-        for resource in features.candidates:
-            if features.feature(resource).supported:
+        for resource, feature in features.per_resource.items():
+            if feature.supported:
                 return resource
         raise SimulationError("no resource supports the instruction")
 

@@ -46,7 +46,7 @@ _KIND_MNEMONIC = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TransformedInstruction:
     """The native-ISA form of one offloaded instruction."""
 
@@ -66,6 +66,10 @@ class InstructionTransformer:
         self.transformations = 0
         self.total_latency_ns = 0.0
         self._table = self._build_table()
+        # (op, size_bytes, resource) -> (native op, sub-ops, sub-bytes);
+        # the translation is pure in these, so each shape resolves once.
+        self._memo: Dict[Tuple[OpType, int, ResourceLike],
+                         Tuple[str, int, int]] = {}
 
     # -- Translation table -----------------------------------------------------
 
@@ -128,15 +132,17 @@ class InstructionTransformer:
     def transform(self, instruction: VectorInstruction,
                   resource: ResourceLike) -> TransformedInstruction:
         """Translate ``instruction`` for ``resource`` (charges lookup time)."""
-        native = self.native_op(instruction.op, resource)
-        sub_operations, sub_bytes = self.split(instruction, resource)
+        key = (instruction.op, instruction.size_bytes, resource)
+        cached = self._memo.get(key)
+        if cached is None:
+            native = self.native_op(instruction.op, resource)
+            sub_operations, sub_bytes = self.split(instruction, resource)
+            cached = self._memo[key] = (native, sub_operations, sub_bytes)
         self.transformations += 1
         self.total_latency_ns += TRANSLATION_LOOKUP_NS
-        return TransformedInstruction(
-            uid=instruction.uid, resource=resource, native_op=native,
-            sub_operations=sub_operations, sub_operation_bytes=sub_bytes,
-            lookup_latency_ns=TRANSLATION_LOOKUP_NS,
-        )
+        return TransformedInstruction(instruction.uid, resource, cached[0],
+                                      cached[1], cached[2],
+                                      TRANSLATION_LOOKUP_NS)
 
     @property
     def average_latency_ns(self) -> float:

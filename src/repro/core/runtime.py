@@ -96,31 +96,41 @@ class ConduitRuntime:
         outstanding: List[float] = []  # completion times, kept as a heap
         max_outstanding = self.config.offloader.max_outstanding
         makespan = start_ns
+        completion_get = completion.get
+        dispatch_core = platform.dispatch_core
+        offload = offloader.offload
+        heappush, heappop = heapq.heappush, heapq.heappop
+        append_record = records.append
         for instruction in program.instructions:
-            deps_ready = max((completion[d] for d in instruction.depends_on
-                              if d in completion), default=start_ns)
+            deps_ready = start_ns
+            for d in instruction.depends_on:
+                t = completion_get(d)
+                if t is not None and t > deps_ready:
+                    deps_ready = t
             # The offloader core issues instructions in order; its current
             # position in virtual time is when this instruction arrives.
-            arrival = max(start_ns, platform.dispatch_core.free_at)
+            free_at = dispatch_core._free_at
+            arrival = start_ns if start_ns >= free_at else free_at
             # The dispatch window bounds how far issue runs ahead of
             # execution: once it is full, dispatch stalls until the oldest
             # outstanding instruction completes.
             while len(outstanding) >= max_outstanding:
-                arrival = max(arrival, heapq.heappop(outstanding))
-            decision = offloader.offload(instruction, arrival_ns=arrival,
-                                         deps_ready_ns=deps_ready,
-                                         elapsed_ns=max(makespan, 1.0))
-            heapq.heappush(outstanding, decision.end_ns)
-            completion[instruction.uid] = decision.end_ns
-            makespan = max(makespan, decision.end_ns)
-            records.append(InstructionRecord(
-                uid=instruction.uid, op=instruction.op,
-                resource=decision.resource,
-                dispatch_ns=decision.dispatch_ns, ready_ns=decision.ready_ns,
-                start_ns=decision.start_ns, end_ns=decision.end_ns,
-                compute_ns=decision.compute_ns,
-                data_movement_ns=decision.data_movement_ns,
-                overhead_ns=decision.overhead_ns))
+                oldest = heappop(outstanding)
+                if oldest > arrival:
+                    arrival = oldest
+            decision = offload(instruction, arrival_ns=arrival,
+                               deps_ready_ns=deps_ready,
+                               elapsed_ns=makespan if makespan > 1.0 else 1.0)
+            end_ns = decision.end_ns
+            heappush(outstanding, end_ns)
+            completion[instruction.uid] = end_ns
+            if end_ns > makespan:
+                makespan = end_ns
+            append_record(InstructionRecord(
+                instruction.uid, instruction.op, decision.resource,
+                decision.dispatch_ns, decision.ready_ns, decision.start_ns,
+                end_ns, decision.compute_ns, decision.data_movement_ns,
+                decision.overhead_ns))
 
         platform.ssd.enter_regular_io_mode()
         energy_config = platform.config.ssd.energy
@@ -169,39 +179,45 @@ class HostRuntime:
         records: List[InstructionRecord] = []
         makespan = 0.0
         run_of = layout.page_run_of
+        completion_get = completion.get
+        ensure_runs_at = platform.ensure_runs_at
+        backend = platform.backends._backends[device]
+        host = DataLocation.HOST
+        on_write_run = platform.coherence.on_write_run
+        mark_produced_run = platform.mark_produced_run
+        reserve = compute_server.reserve
+        append_record = records.append
         for instruction in program.instructions:
-            deps_ready = max((completion[d] for d in instruction.depends_on
-                              if d in completion), default=0.0)
+            deps_ready = 0.0
+            for d in instruction.depends_on:
+                t = completion_get(d)
+                if t is not None and t > deps_ready:
+                    deps_ready = t
+            element_bits = instruction.element_bits
             # Stream operand runs to host memory over NVMe / PCIe.
-            runs = [run_of(ref, instruction.element_bits)
+            runs = [run_of(ref, element_bits)
                     for ref in instruction.array_sources]
-            dm_start = deps_ready
-            dm_end = platform.ensure_runs_at(dm_start, runs,
-                                             DataLocation.HOST)
-            compute = platform.compute_latency(device, instruction.op,
-                                               instruction.size_bytes,
-                                               instruction.element_bits)
-            reservation = compute_server.reserve(max(dm_end, deps_ready),
-                                                 compute)
-            platform.record_compute(reservation.start, device,
-                                    instruction.op, instruction.size_bytes,
-                                    instruction.element_bits)
+            dm_end = ensure_runs_at(deps_ready, runs, host)
+            op = instruction.op
+            size_bytes = instruction.size_bytes
+            compute = backend.operation_latency(op, size_bytes, element_bits)
+            reservation = reserve(
+                dm_end if dm_end >= deps_ready else deps_ready, compute)
+            backend.execute(reservation.start, op, size_bytes, element_bits)
+            platform.energy.add_compute(device, backend.operation_energy(
+                op, size_bytes, element_bits))
             if instruction.dest is not None:
-                dest_base, dest_count = run_of(instruction.dest,
-                                               instruction.element_bits)
-                platform.coherence.on_write_run(dest_base, dest_count,
-                                                DataLocation.HOST)
-                platform.mark_produced_run(reservation.end,
-                                           ((dest_base, dest_count),),
-                                           DataLocation.HOST)
-            completion[instruction.uid] = reservation.end
-            makespan = max(makespan, reservation.end)
-            records.append(InstructionRecord(
-                uid=instruction.uid, op=instruction.op, resource=device,
-                dispatch_ns=dm_start, ready_ns=dm_end,
-                start_ns=reservation.start, end_ns=reservation.end,
-                compute_ns=compute, data_movement_ns=dm_end - dm_start,
-                overhead_ns=0.0))
+                dest_run = run_of(instruction.dest, element_bits)
+                on_write_run(dest_run[0], dest_run[1], host)
+                mark_produced_run(reservation.end, (dest_run,), host)
+            end_ns = reservation.end
+            completion[instruction.uid] = end_ns
+            if end_ns > makespan:
+                makespan = end_ns
+            append_record(InstructionRecord(
+                instruction.uid, op, device, deps_ready, dm_end,
+                reservation.start, end_ns, compute, dm_end - deps_ready,
+                0.0))
 
         platform.energy.charge_static(
             makespan, platform.config.ssd.energy.ssd_active_power_w,

@@ -70,6 +70,11 @@ class PuDUnit:
         self.operations = 0
         self.total_busy_ns = 0.0
         self.energy_nj = 0.0
+        # Memoized estimate points (pure in their arguments + immutable
+        # config): the precomputed latency/energy tables of Section 4.5.
+        self._steps_table: dict = {}
+        self._latency_table: dict = {}
+        self._energy_table: dict = {}
 
     # -- Capability and latency estimation ---------------------------------------
 
@@ -84,6 +89,14 @@ class PuDUnit:
 
     def steps_for(self, op: OpType, element_bits: int) -> int:
         """Number of bbop row-activation steps one row-worth of data needs."""
+        cached = self._steps_table.get((op, element_bits))
+        if cached is not None:
+            return cached
+        steps = self._steps_for(op, element_bits)
+        self._steps_table[(op, element_bits)] = steps
+        return steps
+
+    def _steps_for(self, op: OpType, element_bits: int) -> int:
         if not self.supports(op):
             raise SimulationError(f"PuD-SSD does not support {op.value}")
         if op in (OpType.COPY,):
@@ -109,16 +122,28 @@ class PuDUnit:
         Rows are spread across the available banks, which operate in
         parallel; rows beyond the bank count serialize.
         """
+        key = (op, size_bytes, element_bits)
+        cached = self._latency_table.get(key)
+        if cached is not None:
+            return cached
         rows = max(1, math.ceil(size_bytes / self.row_bytes))
         steps = self.steps_for(op, element_bits)
         waves = math.ceil(rows / self.config.banks)
-        return waves * steps * self.config.bbop_latency_ns
+        latency = waves * steps * self.config.bbop_latency_ns
+        self._latency_table[key] = latency
+        return latency
 
     def operation_energy(self, op: OpType, size_bytes: int,
                          element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._energy_table.get(key)
+        if cached is not None:
+            return cached
         rows = max(1, math.ceil(size_bytes / self.row_bytes))
         steps = self.steps_for(op, element_bits)
-        return rows * steps * self.config.bbop_energy_nj
+        energy = rows * steps * self.config.bbop_energy_nj
+        self._energy_table[key] = energy
+        return energy
 
     # -- Execution (reserves banks) ----------------------------------------------
 

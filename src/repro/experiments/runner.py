@@ -34,6 +34,7 @@ execution), then ``os.cpu_count()``.
 from __future__ import annotations
 
 import enum
+import gc
 import hashlib
 import json
 import os
@@ -173,6 +174,13 @@ def run_spec_key(spec: RunSpec) -> str:
     # pre-label caches stay valid).  The roster fold below already keys
     # every shape-changing knob.
     encoded.pop("platform_name", None)
+    # The movement-engine choice is an implementation detail, not
+    # semantics: the vectorized engine is bit-exact against the object
+    # engine by construction (and tested to be), so results computed by
+    # either must share cache entries.
+    platform_encoded = encoded.get("platform")
+    if isinstance(platform_encoded, dict):
+        platform_encoded.pop("vectorized_movement", None)
     payload = {"version": SWEEP_CACHE_VERSION, "spec": encoded,
                "backends": list(backend_roster(spec.platform))}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -194,16 +202,28 @@ def _execute(program: VectorProgram, spec: RunSpec) -> ExecutionResult:
     """Run one compiled program under one named policy on a fresh platform.
 
     Shared by the serial path and the pool workers so both execute exactly
-    the same code.
+    the same code.  The cycle collector is paused for the duration of one
+    run: the simulators allocate millions of short-lived records whose
+    lifetimes are reference-counted, so generational scans only add
+    pauses; per-run bookkeeping (records, decisions) is acyclic and freed
+    normally when the result is consumed.
     """
     platform = SSDPlatform(spec.platform)
-    if spec.policy in HOST_POLICIES:
-        device = (Resource.HOST_CPU if spec.policy == "CPU"
-                  else Resource.HOST_GPU)
-        runtime = HostRuntime(platform, spec.runtime)
-        return runtime.execute(program, device, spec.workload)
-    runtime = ConduitRuntime(platform, spec.runtime)
-    return runtime.execute(program, make_policy(spec.policy), spec.workload)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        if spec.policy in HOST_POLICIES:
+            device = (Resource.HOST_CPU if spec.policy == "CPU"
+                      else Resource.HOST_GPU)
+            runtime = HostRuntime(platform, spec.runtime)
+            return runtime.execute(program, device, spec.workload)
+        runtime = ConduitRuntime(platform, spec.runtime)
+        return runtime.execute(program, make_policy(spec.policy),
+                               spec.workload)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 def execute_run_spec(spec: RunSpec) -> ExecutionResult:

@@ -48,6 +48,10 @@ class HostCPU:
         self.operations = 0
         self.total_busy_ns = 0.0
         self.energy_nj = 0.0
+        # Memoized estimate points (pure in their arguments + immutable
+        # config), mirroring the SSD backends' precomputed tables.
+        self._latency_table: dict = {}
+        self._energy_table: dict = {}
 
     @staticmethod
     def supports(op: OpType) -> bool:
@@ -58,6 +62,10 @@ class HostCPU:
 
     def operation_latency(self, op: OpType, size_bytes: int,
                           element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._latency_table.get(key)
+        if cached is not None:
+            return cached
         if size_bytes <= 0:
             raise SimulationError("host CPU operation size must be positive")
         simd_ops = math.ceil(size_bytes / self.config.simd_width_bytes)
@@ -67,12 +75,20 @@ class HostCPU:
         memory_bytes = 3 * size_bytes
         memory_ns = (self.config.memory_latency_ns +
                      memory_bytes / self.config.memory_bandwidth_gbps)
-        return max(compute_ns, memory_ns)
+        latency = max(compute_ns, memory_ns)
+        self._latency_table[key] = latency
+        return latency
 
     def operation_energy(self, op: OpType, size_bytes: int,
                          element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._energy_table.get(key)
+        if cached is not None:
+            return cached
         latency_ns = self.operation_latency(op, size_bytes, element_bits)
-        return latency_ns * self.config.active_power_w  # ns * W = nJ
+        energy = latency_ns * self.config.active_power_w  # ns * W = nJ
+        self._energy_table[key] = energy
+        return energy
 
     def execute(self, now: float, op: OpType, size_bytes: int,
                 element_bits: int) -> HostOperationTiming:

@@ -50,6 +50,10 @@ class HostGPU:
         #: instructions, approximated as once every ``launch_batch`` ops.
         self.launch_batch = 256
         self._ops_since_launch = 0
+        # Memoized estimate points (pure in their arguments + immutable
+        # config); the launch-overhead state above only affects execute().
+        self._latency_table: dict = {}
+        self._energy_table: dict = {}
 
     @staticmethod
     def supports(op: OpType) -> bool:
@@ -60,6 +64,10 @@ class HostGPU:
 
     def operation_latency(self, op: OpType, size_bytes: int,
                           element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._latency_table.get(key)
+        if cached is not None:
+            return cached
         if size_bytes <= 0:
             raise SimulationError("GPU operation size must be positive")
         element_bytes = max(1, element_bits // 8)
@@ -67,17 +75,26 @@ class HostGPU:
         if op in (OpType.SCALAR, OpType.BRANCH, OpType.CALL):
             # Control-intensive code does not spread across SIMT lanes; it
             # effectively runs serially on a single SM at GPU clock rate.
-            return elements * self._cycles(op) * self.config.cycle_ns
-        waves = math.ceil(elements / self.config.total_lanes)
-        compute_ns = waves * self._cycles(op) * self.config.cycle_ns
-        memory_bytes = 3 * size_bytes
-        memory_ns = memory_bytes / self.config.hbm_bandwidth_gbps
-        return max(compute_ns, memory_ns)
+            latency = elements * self._cycles(op) * self.config.cycle_ns
+        else:
+            waves = math.ceil(elements / self.config.total_lanes)
+            compute_ns = waves * self._cycles(op) * self.config.cycle_ns
+            memory_bytes = 3 * size_bytes
+            memory_ns = memory_bytes / self.config.hbm_bandwidth_gbps
+            latency = max(compute_ns, memory_ns)
+        self._latency_table[key] = latency
+        return latency
 
     def operation_energy(self, op: OpType, size_bytes: int,
                          element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._energy_table.get(key)
+        if cached is not None:
+            return cached
         latency_ns = self.operation_latency(op, size_bytes, element_bits)
-        return latency_ns * self.config.active_power_w
+        energy = latency_ns * self.config.active_power_w
+        self._energy_table[key] = energy
+        return energy
 
     def execute(self, now: float, op: OpType, size_bytes: int,
                 element_bits: int) -> GPUOperationTiming:

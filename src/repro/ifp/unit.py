@@ -50,6 +50,10 @@ class IFPUnit:
         self.operations = 0
         self.total_busy_ns = 0.0
         self.energy_nj = 0.0
+        # Memoized per-page estimate points (pure in their arguments +
+        # immutable config): the precomputed tables of Section 4.5.
+        self._page_latency_table: dict = {}
+        self._page_energy_table: dict = {}
 
     # -- Capability -----------------------------------------------------------
 
@@ -71,19 +75,33 @@ class IFPUnit:
 
     def page_operation_latency(self, op: OpType, element_bits: int,
                                operand_pages: int = 2) -> float:
+        key = (op, element_bits, operand_pages)
+        cached = self._page_latency_table.get(key)
+        if cached is not None:
+            return cached
         if op in FLASH_COSMOS_OPS:
-            return self.flash_cosmos.operation(op, operand_pages).latency_ns
-        if op in ARES_FLASH_OPS:
-            return self.ares_flash.operation(op, element_bits).latency_ns
-        raise SimulationError(f"IFP does not support {op.value}")
+            latency = self.flash_cosmos.operation(op, operand_pages).latency_ns
+        elif op in ARES_FLASH_OPS:
+            latency = self.ares_flash.operation(op, element_bits).latency_ns
+        else:
+            raise SimulationError(f"IFP does not support {op.value}")
+        self._page_latency_table[key] = latency
+        return latency
 
     def page_operation_energy(self, op: OpType, element_bits: int,
                               operand_pages: int = 2) -> float:
+        key = (op, element_bits, operand_pages)
+        cached = self._page_energy_table.get(key)
+        if cached is not None:
+            return cached
         if op in FLASH_COSMOS_OPS:
-            return self.flash_cosmos.operation(op, operand_pages).energy_nj
-        if op in ARES_FLASH_OPS:
-            return self.ares_flash.operation(op, element_bits).energy_nj
-        raise SimulationError(f"IFP does not support {op.value}")
+            energy = self.flash_cosmos.operation(op, operand_pages).energy_nj
+        elif op in ARES_FLASH_OPS:
+            energy = self.ares_flash.operation(op, element_bits).energy_nj
+        else:
+            raise SimulationError(f"IFP does not support {op.value}")
+        self._page_energy_table[key] = energy
+        return energy
 
     # -- Vector-level latency and energy ------------------------------------------
 

@@ -55,6 +55,12 @@ class EmbeddedCoreComplex:
         self.operations = 0
         self.total_busy_ns = 0.0
         self.energy_nj = 0.0
+        # Memoized (op, size, bits) -> latency/energy points: the model is
+        # a pure function of its arguments and the immutable config, so
+        # the cache realizes the paper's precomputed estimate tables
+        # (Section 4.5) instead of re-deriving each point per lookup.
+        self._latency_table: dict = {}
+        self._energy_table: dict = {}
 
     # -- Capability / estimation ---------------------------------------------------
 
@@ -76,6 +82,10 @@ class EmbeddedCoreComplex:
     def operation_latency(self, op: OpType, size_bytes: int,
                           element_bits: int) -> float:
         """Latency of one operation over ``size_bytes`` on one core."""
+        key = (op, size_bytes, element_bits)
+        cached = self._latency_table.get(key)
+        if cached is not None:
+            return cached
         if size_bytes <= 0:
             raise SimulationError("ISP operation size must be positive")
         beats = self.beats_for(size_bytes)
@@ -84,13 +94,21 @@ class EmbeddedCoreComplex:
         # beat count; wider elements (64-bit) double the effective beats.
         if element_bits > 32:
             cycles *= element_bits / 32.0
-        return cycles * self.config.cycle_ns
+        latency = cycles * self.config.cycle_ns
+        self._latency_table[key] = latency
+        return latency
 
     def operation_energy(self, op: OpType, size_bytes: int,
                          element_bits: int) -> float:
+        key = (op, size_bytes, element_bits)
+        cached = self._energy_table.get(key)
+        if cached is not None:
+            return cached
         latency_ns = self.operation_latency(op, size_bytes, element_bits)
         power_w = self.energy_config.controller_core_active_power_mw / 1e3
-        return latency_ns * power_w  # ns * W = nJ
+        energy = latency_ns * power_w  # ns * W = nJ
+        self._energy_table[key] = energy
+        return energy
 
     # -- Execution --------------------------------------------------------------------
 

@@ -24,11 +24,115 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.common import SimulationError
 
 EventCallback = Callable[["Event"], None]
+
+#: Batch sizes below this run the plain scalar recurrence; numpy's
+#: fixed per-call overhead only pays off beyond a handful of elements.
+_VECTOR_MIN_BATCH = 16
+
+
+def chain_finish_times(arrivals: np.ndarray, durations,
+                       free: float) -> Tuple[np.ndarray, float]:
+    """Finish times of an FCFS reservation chain, vectorized bit-exactly.
+
+    Computes ``f[i] = max(arrivals[i], f[i-1]) + durations[i]`` with
+    ``f[-1] = free`` -- the exact recurrence :meth:`Server.reserve` applies
+    per job -- and returns ``(finish_times, new_free)``.
+
+    Bit-exactness with the scalar loop is non-negotiable (the vectorized
+    movement engine is validated by equality against the object engine), so
+    no closed form that re-associates floating-point additions is allowed
+    (``free + i * d`` differs from ``i`` repeated additions in ULPs).  Three
+    regimes cover the practical inputs:
+
+    * **saturated** (no bubbles: every arrival lands while the resource is
+      still busy): the chain is pure repeated addition, which
+      ``np.add.accumulate`` reproduces exactly because it accumulates
+      sequentially, element by element;
+    * **idle** (a bubble at every element: each arrival lands at or after
+      the previous finish): ``f[i] = arrivals[i] + durations[i]``
+      elementwise, the same single addition the scalar loop performs;
+    * **mixed**: fall back to the scalar recurrence.
+
+    Each vectorized candidate is only returned after a self-consistency
+    check proves it equals the scalar chain, so the result is bit-identical
+    to per-job :meth:`Server.reserve` calls in every case.
+    """
+    n = len(arrivals)
+    if n == 0:
+        return np.empty(0, dtype=np.float64), free
+    scalar_duration = not isinstance(durations, np.ndarray)
+    first_duration = durations if scalar_duration else durations[0]
+    a0 = arrivals[0]
+    head = (a0 if a0 > free else free) + first_duration
+    if n >= _VECTOR_MIN_BATCH:
+        # Saturated candidate: repeated addition via sequential accumulate.
+        buf = np.empty(n, dtype=np.float64)
+        buf[0] = head
+        if scalar_duration:
+            buf[1:] = durations
+        else:
+            buf[1:] = durations[1:]
+        cand = np.add.accumulate(buf)
+        if np.all(arrivals[1:] <= cand[:-1]):
+            return cand, float(cand[-1])
+        # Idle candidate: every job starts at its own arrival.
+        alt = arrivals + durations
+        if a0 >= free and np.all(arrivals[1:] >= alt[:-1]):
+            return alt, float(alt[-1])
+    ends = np.empty(n, dtype=np.float64)
+    prev = free
+    if scalar_duration:
+        for i in range(n):
+            a = arrivals[i]
+            prev = (a if a > prev else prev) + durations
+            ends[i] = prev
+    else:
+        for i in range(n):
+            a = arrivals[i]
+            prev = (a if a > prev else prev) + durations[i]
+            ends[i] = prev
+    return ends, float(prev)
+
+
+def sequential_sum(start: float, deltas) -> float:
+    """``start + d0 + d1 + ...`` accumulated strictly left to right.
+
+    Matches the running-counter updates of the scalar engine (e.g.
+    ``busy_time += duration`` per job): ``np.add.accumulate`` adds one
+    element at a time, unlike ``np.sum``'s pairwise reduction, so the
+    result is bit-identical to the Python loop.
+    """
+    n = len(deltas)
+    if n == 0:
+        return start
+    if n < _VECTOR_MIN_BATCH:
+        for delta in deltas:
+            start += delta
+        return start
+    buf = np.empty(n, dtype=np.float64)
+    buf[0] = start + deltas[0]
+    buf[1:] = deltas[1:]
+    return float(np.add.accumulate(buf)[-1])
+
+
+def repeat_sum(start: float, delta: float, count: int) -> float:
+    """``start`` plus ``count`` repeated additions of ``delta``, exactly."""
+    if count <= 0:
+        return start
+    if count < _VECTOR_MIN_BATCH:
+        for _ in range(count):
+            start += delta
+        return start
+    buf = np.full(count, delta, dtype=np.float64)
+    buf[0] = start + delta
+    return float(np.add.accumulate(buf)[-1])
 
 
 @dataclass(order=True)
@@ -148,7 +252,10 @@ class EventScheduler:
             if next_event is None:
                 break
             if until is not None and next_event.time > until:
-                self._now = until
+                # Clamp, never rewind: an ``until`` in the past must not
+                # move the monotonic clock backwards.
+                if until > self._now:
+                    self._now = until
                 break
             self.step()
             executed += 1
@@ -163,7 +270,7 @@ class EventScheduler:
         return self._queue[0] if self._queue else None
 
 
-@dataclass
+@dataclass(slots=True)
 class Reservation:
     """The outcome of reserving a resource: when work starts and ends."""
 
@@ -207,12 +314,13 @@ class Server:
         if duration < 0:
             raise SimulationError(
                 f"negative duration {duration} on server {self.name}")
-        start = max(arrival, self._free_at)
+        free = self._free_at
+        start = arrival if arrival >= free else free
         end = start + duration
         self._free_at = end
         self.busy_time += duration
         self.jobs += 1
-        return Reservation(start=start, end=end, _wait=start - arrival)
+        return Reservation(start, end, 0, start - arrival)
 
     def reserve_batch(self, arrivals: List[float],
                       duration: float) -> List[float]:
@@ -236,6 +344,23 @@ class Server:
             append(free)
         self._free_at = free
         self.busy_time = busy
+        self.jobs += len(ends)
+        return ends
+
+    def reserve_batch_array(self, arrivals: np.ndarray,
+                            duration: float) -> np.ndarray:
+        """Vectorized :meth:`reserve_batch`: ndarray in, ndarray out.
+
+        Bit-identical to per-arrival :meth:`reserve` calls (finish chain,
+        busy time, job count); the fast path of the vectorized movement
+        engine (``PlatformConfig.vectorized_movement``).
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"negative duration {duration} on server {self.name}")
+        ends, free = chain_finish_times(arrivals, duration, self._free_at)
+        self._free_at = free
+        self.busy_time = repeat_sum(self.busy_time, duration, len(ends))
         self.jobs += len(ends)
         return ends
 
@@ -273,16 +398,58 @@ class MultiServer:
         if duration < 0:
             raise SimulationError(
                 f"negative duration {duration} on pool {self.name}")
+        free = self._free_at
         if server_index is None:
-            server_index = min(range(len(self._free_at)),
-                               key=lambda i: self._free_at[i])
-        start = max(arrival, self._free_at[server_index])
+            # First-least-loaded server; list.index(min(...)) keeps the
+            # same first-minimum tie-break as an argmin scan.
+            server_index = free.index(min(free))
+        server_free = free[server_index]
+        start = arrival if arrival >= server_free else server_free
         end = start + duration
-        self._free_at[server_index] = end
+        free[server_index] = end
         self.busy_time += duration
         self.jobs += 1
-        return Reservation(start=start, end=end, server_index=server_index,
-                           _wait=start - arrival)
+        return Reservation(start, end, server_index, start - arrival)
+
+    def reserve_batch(self, arrivals: Sequence[float], duration: float,
+                      server_indices: Optional[Sequence[int]] = None
+                      ) -> np.ndarray:
+        """Reserve one equal-duration job per arrival; return finish times.
+
+        The batch entry point of the run-batched/vectorized movement
+        engine, bit-identical to per-arrival :meth:`reserve` calls.  With
+        explicit ``server_indices`` (data pinned to specific dies/banks)
+        each server's sub-sequence is an independent FCFS chain, so the
+        batch decomposes into one :func:`chain_finish_times` per touched
+        server; without, the least-loaded choice depends on the evolving
+        pool state and the booking loop stays scalar.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"negative duration {duration} on pool {self.name}")
+        n = len(arrivals)
+        ends = np.empty(n, dtype=np.float64)
+        free = self._free_at
+        if server_indices is None:
+            for i in range(n):
+                index = free.index(min(free))
+                a = arrivals[i]
+                f = free[index]
+                f = (a if a > f else f) + duration
+                free[index] = f
+                ends[i] = f
+        else:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            indices = np.asarray(server_indices)
+            for index in np.unique(indices):
+                positions = np.flatnonzero(indices == index)
+                sub_ends, new_free = chain_finish_times(
+                    arrivals[positions], duration, free[index])
+                free[index] = new_free
+                ends[positions] = sub_ends
+        self.busy_time = repeat_sum(self.busy_time, duration, n)
+        self.jobs += n
+        return ends
 
     def utilization(self, elapsed: float) -> float:
         if elapsed <= 0:
@@ -320,7 +487,7 @@ class SharedBus:
     def transfer(self, arrival: float, size_bytes: float) -> Reservation:
         """Reserve the bus for a transfer of ``size_bytes`` at ``arrival``."""
         self.bytes_moved += size_bytes
-        return self._server.reserve(arrival, self.transfer_time(size_bytes))
+        return self._server.reserve(arrival, size_bytes / self.bandwidth)
 
     def transfer_batch(self, arrivals: List[float],
                        size_bytes_each: float) -> List[float]:
@@ -334,6 +501,14 @@ class SharedBus:
         """
         duration = self.transfer_time(size_bytes_each)
         ends = self._server.reserve_batch(arrivals, duration)
+        self.bytes_moved += size_bytes_each * len(ends)
+        return ends
+
+    def transfer_batch_array(self, arrivals: np.ndarray,
+                             size_bytes_each: float) -> np.ndarray:
+        """Vectorized :meth:`transfer_batch`: ndarray in, ndarray out."""
+        duration = self.transfer_time(size_bytes_each)
+        ends = self._server.reserve_batch_array(arrivals, duration)
         self.bytes_moved += size_bytes_each * len(ends)
         return ends
 
@@ -368,12 +543,46 @@ class BusGroup:
 
     def transfer(self, arrival: float, size_bytes: float,
                  channel: Optional[int] = None) -> Reservation:
+        buses = self.buses
         if channel is None:
-            channel = min(range(len(self.buses)),
-                          key=lambda i: self.buses[i].free_at)
-        reservation = self.buses[channel].transfer(arrival, size_bytes)
+            # First-least-loaded bus (same tie-break as an argmin scan).
+            free_ats = [bus._server._free_at for bus in buses]
+            channel = free_ats.index(min(free_ats))
+        reservation = buses[channel].transfer(arrival, size_bytes)
         reservation.server_index = channel
         return reservation
+
+    def transfer_batch(self, arrivals: Sequence[float],
+                       size_bytes_each: float,
+                       channels: Optional[Sequence[int]] = None
+                       ) -> np.ndarray:
+        """Reserve one equal-sized transfer per arrival; return finish times.
+
+        The group-level batch entry point of the vectorized movement
+        engine, bit-identical to per-transfer :meth:`transfer` calls.
+        With explicit ``channels`` (striped data pinned to its channel) the
+        batch decomposes into one independent chain per touched bus;
+        without, the least-loaded choice evolves per transfer and the
+        booking loop stays scalar.
+        """
+        n = len(arrivals)
+        ends = np.empty(n, dtype=np.float64)
+        if channels is None:
+            buses = self.buses
+            for i in range(n):
+                channel = min(range(len(buses)),
+                              key=lambda b: buses[b].free_at)
+                reservation = buses[channel].transfer(arrivals[i],
+                                                      size_bytes_each)
+                ends[i] = reservation.end
+            return ends
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        indices = np.asarray(channels)
+        for channel in np.unique(indices):
+            positions = np.flatnonzero(indices == channel)
+            ends[positions] = self.buses[channel].transfer_batch_array(
+                arrivals[positions], size_bytes_each)
+        return ends
 
     @property
     def bytes_moved(self) -> float:

@@ -23,7 +23,7 @@ from repro.common import ResourceLike
 from repro.ssd.events import MultiServer, Reservation
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueEntry:
     """Bookkeeping for one instruction enqueued on a resource."""
 
@@ -53,6 +53,7 @@ class ExecutionQueue:
         #: Running counter of estimated execution latency of enqueued but
         #: not yet completed instructions (the paper's footnote-5 counter).
         self._pending_latency = 0.0
+        self._parallelism = self.servers.servers
         self._pending: Dict[int, QueueEntry] = {}
         self.completed: List[QueueEntry] = []
 
@@ -75,7 +76,7 @@ class ExecutionQueue:
         Stall time those instructions spend waiting for their own operands
         is *not* included -- the offloader cannot observe it cheaply.
         """
-        return self._pending_latency / self.parallelism
+        return self._pending_latency / self._parallelism
 
     def pending_latency(self) -> float:
         """The raw running counter of enqueued estimated latencies."""

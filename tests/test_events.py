@@ -1,7 +1,8 @@
 """Tests for the event-driven simulation kernel."""
 
+import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.common import SimulationError
 from repro.ssd.events import (BusGroup, EventScheduler, MultiServer, Server,
@@ -166,3 +167,138 @@ class TestBusGroup:
         group = BusGroup("channels", 2, 1.0)
         group.transfer(0.0, 100, channel=0)
         assert group.utilization(100.0) == pytest.approx(0.5)
+
+
+class TestRunUntilClamp:
+    """``run(until=...)`` clamps the clock; it must never rewind it."""
+
+    def test_until_in_past_does_not_rewind_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(10.0, lambda e: None)
+        scheduler.schedule(100.0, lambda e: None)
+        assert scheduler.run(until=50.0) == 50.0
+        # Regression: virtual time is monotonic, so an ``until`` earlier
+        # than the current clock is a no-op for the clock, not a rewind.
+        assert scheduler.run(until=20.0) == 50.0
+        assert scheduler.now == 50.0
+        assert scheduler.pending == 1
+
+    def test_until_between_now_and_next_event_still_advances(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(100.0, lambda e: None)
+        scheduler.run(until=30.0)
+        assert scheduler.run(until=60.0) == 60.0
+        assert scheduler.processed == 0
+
+
+#: Long enough lists cross ``_VECTOR_MIN_BATCH`` so the saturated/idle
+#: numpy candidates of ``chain_finish_times`` are exercised, not just the
+#: scalar fallback.
+ARRIVALS = st.lists(
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+DURATION = st.floats(min_value=0.0, max_value=1e4,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestBatchEntryPoints:
+    """Batch bookings must be *bit-identical* to per-job reservations.
+
+    The vectorized movement engine is validated by equality against the
+    object engine, so every batch entry point (finish chain, busy time,
+    job count, bytes moved) must reproduce the sequential loop exactly --
+    no float tolerance anywhere.
+    """
+
+    @given(arrivals=ARRIVALS, duration=DURATION)
+    @settings(max_examples=40, deadline=None)
+    def test_server_reserve_batch_matches_sequential(self, arrivals,
+                                                     duration):
+        reference = Server("ref")
+        ends = [reference.reserve(a, duration).end for a in arrivals]
+        batched = Server("batch")
+        assert batched.reserve_batch(arrivals, duration) == ends
+        assert batched.free_at == reference.free_at
+        assert batched.busy_time == reference.busy_time
+        assert batched.jobs == reference.jobs
+
+    @given(arrivals=ARRIVALS, duration=DURATION)
+    @settings(max_examples=40, deadline=None)
+    def test_server_reserve_batch_array_matches_sequential(self, arrivals,
+                                                           duration):
+        reference = Server("ref")
+        ends = [reference.reserve(a, duration).end for a in arrivals]
+        batched = Server("batch")
+        result = batched.reserve_batch_array(
+            np.asarray(arrivals, dtype=np.float64), duration)
+        assert list(result) == ends
+        assert batched.free_at == reference.free_at
+        assert batched.busy_time == reference.busy_time
+        assert batched.jobs == reference.jobs
+
+    @given(arrivals=ARRIVALS, duration=DURATION)
+    @settings(max_examples=40, deadline=None)
+    def test_multiserver_pinned_batch_matches_sequential(self, arrivals,
+                                                         duration):
+        servers = 3
+        indices = [i % servers for i in range(len(arrivals))]
+        reference = MultiServer("ref", servers)
+        ends = [reference.reserve(a, duration, server_index=s).end
+                for a, s in zip(arrivals, indices)]
+        batched = MultiServer("batch", servers)
+        assert list(batched.reserve_batch(arrivals, duration,
+                                          indices)) == ends
+        assert batched._free_at == reference._free_at
+        assert batched.busy_time == reference.busy_time
+        assert batched.jobs == reference.jobs
+
+    @given(arrivals=ARRIVALS, duration=DURATION)
+    @settings(max_examples=25, deadline=None)
+    def test_multiserver_unpinned_batch_matches_sequential(self, arrivals,
+                                                           duration):
+        reference = MultiServer("ref", 2)
+        ends = [reference.reserve(a, duration).end for a in arrivals]
+        batched = MultiServer("batch", 2)
+        assert list(batched.reserve_batch(arrivals, duration)) == ends
+        assert batched._free_at == reference._free_at
+        assert batched.busy_time == reference.busy_time
+
+    @given(arrivals=ARRIVALS)
+    @settings(max_examples=25, deadline=None)
+    def test_bus_group_pinned_batch_matches_sequential(self, arrivals):
+        channels = [i % 2 for i in range(len(arrivals))]
+        reference = BusGroup("ref", 2, 1.5)
+        ends = [reference.transfer(a, 512, channel=c).end
+                for a, c in zip(arrivals, channels)]
+        batched = BusGroup("batch", 2, 1.5)
+        assert list(batched.transfer_batch(arrivals, 512, channels)) == ends
+        assert batched.bytes_moved == reference.bytes_moved
+
+    @given(arrivals=ARRIVALS)
+    @settings(max_examples=25, deadline=None)
+    def test_bus_group_unpinned_batch_matches_sequential(self, arrivals):
+        reference = BusGroup("ref", 2, 1.5)
+        ends = [reference.transfer(a, 512).end for a in arrivals]
+        batched = BusGroup("batch", 2, 1.5)
+        assert list(batched.transfer_batch(arrivals, 512)) == ends
+        assert batched.bytes_moved == reference.bytes_moved
+
+    def test_shared_bus_batch_matches_sequential(self):
+        arrivals = [0.0, 10.0, 10.0, 500.0]
+        reference = SharedBus("ref", 2.0)
+        ends = [reference.transfer(a, 256).end for a in arrivals]
+        batched = SharedBus("batch", 2.0)
+        assert batched.transfer_batch(arrivals, 256) == ends
+        assert batched.bytes_moved == reference.bytes_moved
+        vectorized = SharedBus("vec", 2.0)
+        assert list(vectorized.transfer_batch_array(
+            np.asarray(arrivals), 256)) == ends
+
+    def test_negative_duration_rejected_by_batch_entry_points(self):
+        with pytest.raises(SimulationError):
+            Server("s").reserve_batch([0.0], -1.0)
+        with pytest.raises(SimulationError):
+            Server("s").reserve_batch_array(np.zeros(1), -1.0)
+        with pytest.raises(SimulationError):
+            MultiServer("m", 2).reserve_batch([0.0], -1.0)

@@ -1,0 +1,159 @@
+"""Differential suite for the vectorized movement engine.
+
+``PlatformConfig.vectorized_movement`` selects a numpy flat-array fast
+path inside the run-batched data-movement engine; the object engine stays
+the bit-exact golden reference (mirroring the ``batched_movement``
+pattern).  Bit-equality -- not float tolerance -- is the contract: the two
+engines must produce *identical* :class:`ExecutionResult` trees, which is
+also what lets them share sweep-cache entries (the engine flag is popped
+from :func:`run_spec_key`).
+
+Three layers:
+
+* property-based sweep points (Hypothesis): random (workload, policy,
+  scale, platform-variant roster) combinations run on both engines;
+* property-based synthetic programs (Hypothesis): random instruction
+  streams (ops, operand offsets, dependency chains) whose arrival
+  patterns are not constrained to anything a registered workload emits;
+* the cache-key identity the engine split relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import KIB, MIB, OpType
+from repro.core.compiler.ir import (ArrayRef, ArraySpec, VectorInstruction,
+                                    VectorProgram)
+from repro.core.offload.policies import make_policy
+from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.core.runtime import ConduitRuntime
+from repro.experiments import ExperimentConfig, ExperimentRunner, \
+    platform_variant
+from repro.experiments.runner import RunSpec, run_spec_key
+from repro.ssd.config import small_ssd_config
+from repro.workloads import workload_by_name
+
+#: Enum members are sorted before ``sampled_from`` so the Hypothesis
+#: database keys are stable across interpreter runs (set iteration order
+#: would shuffle them).
+PROGRAM_OPS = sorted((OpType.ADD, OpType.MUL, OpType.XOR, OpType.AND),
+                     key=lambda op: op.value)
+
+
+def _assert_bit_equal(vec, obj):
+    """Every field of the two execution results must match exactly."""
+    assert vec.total_time_ns == obj.total_time_ns
+    assert vec.total_energy_nj == obj.total_energy_nj
+    assert vec.energy == obj.energy
+    assert vec.breakdown == obj.breakdown
+    assert vec.records == obj.records
+    assert vec.offload_overhead_avg_ns == obj.offload_overhead_avg_ns
+    assert vec.offload_overhead_max_ns == obj.offload_overhead_max_ns
+
+
+class TestRandomSweepPoints:
+    """Random rosters / scales / policies: vectorized == object engine."""
+
+    @given(workload=st.sampled_from(["AES", "XOR Filter", "jacobi-1d"]),
+           policy=st.sampled_from(["Conduit", "DM-Offloading", "PuD-SSD",
+                                   "CPU"]),
+           scale=st.sampled_from([0.02, 0.05]),
+           variant=st.sampled_from(["default", "multicore-isp", "cxl-pud"]),
+           feedback=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_engines_bit_equal(self, workload, policy, scale, variant,
+                               feedback):
+        results = []
+        for vectorized in (True, False):
+            platform = dataclasses.replace(
+                platform_variant(variant), vectorized_movement=vectorized,
+                contention_feedback=feedback)
+            runner = ExperimentRunner(
+                ExperimentConfig(workload_scale=scale, platform=platform))
+            results.append(
+                runner.run(workload_by_name(workload, scale=scale), policy))
+        _assert_bit_equal(*results)
+
+
+def _small_config(**overrides) -> PlatformConfig:
+    return PlatformConfig(ssd=small_ssd_config(),
+                          dram_compute_window_bytes=1 * MIB,
+                          sram_window_bytes=256 * KIB,
+                          host_cache_bytes=1 * MIB, **overrides)
+
+
+#: One synthetic instruction: (op index, dest slot, source slots, chain).
+#: Slots address 4096-element regions of two declared 64 Ki-element
+#: arrays, so random streams trigger real window pressure and coherence
+#: ping-pong on the small platform above.
+INSTRUCTION = st.tuples(
+    st.integers(min_value=0, max_value=len(PROGRAM_OPS) - 1),
+    st.integers(min_value=0, max_value=2 * 12 - 1),
+    st.lists(st.integers(min_value=0, max_value=2 * 12 - 1),
+             min_size=1, max_size=2),
+    st.booleans())
+
+
+def _build_program(stream) -> VectorProgram:
+    arrays = [ArraySpec("a", 64 * 1024, 32), ArraySpec("b", 64 * 1024, 32)]
+    program = VectorProgram("generated", arrays)
+
+    def ref(slot: int) -> ArrayRef:
+        return ArrayRef("ab"[slot // 12], (slot % 12) * 4096, 4096)
+
+    for uid, (op_index, dest, sources, chain) in enumerate(stream):
+        program.add(VectorInstruction(
+            uid=uid, op=PROGRAM_OPS[op_index], dest=ref(dest),
+            sources=tuple(ref(s) for s in sources),
+            depends_on=(uid - 1,) if chain and uid else ()))
+    return program
+
+
+class TestRandomPrograms:
+    """Random instruction streams: vectorized == object engine."""
+
+    @given(stream=st.lists(INSTRUCTION, min_size=1, max_size=24),
+           policy=st.sampled_from(["Conduit", "DM-Offloading"]))
+    @settings(max_examples=15, deadline=None)
+    def test_engines_bit_equal(self, stream, policy):
+        results = []
+        for vectorized in (True, False):
+            runtime = ConduitRuntime(
+                SSDPlatform(_small_config(vectorized_movement=vectorized)))
+            results.append(runtime.execute(_build_program(stream),
+                                           make_policy(policy)))
+        _assert_bit_equal(*results)
+
+    @given(stream=st.lists(INSTRUCTION, min_size=1, max_size=16))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_object_engine_matches_per_page_reference(self, stream):
+        """The object engine itself stays pinned to the per-page path."""
+        batched = ConduitRuntime(SSDPlatform(_small_config(
+            vectorized_movement=False, batched_movement=True)))
+        per_page = ConduitRuntime(SSDPlatform(_small_config(
+            vectorized_movement=False, batched_movement=False)))
+        program = _build_program(stream)
+        a = batched.execute(program, make_policy("Conduit"))
+        b = per_page.execute(program, make_policy("Conduit"))
+        _assert_bit_equal(a, b)
+
+
+class TestCacheKeyIdentity:
+    """Both engines must share sweep-cache entries (bit-equal results)."""
+
+    def test_engine_flag_excluded_from_run_spec_key(self):
+        base = ExperimentConfig(workload_scale=0.05).platform
+        on = dataclasses.replace(base, vectorized_movement=True)
+        off = dataclasses.replace(base, vectorized_movement=False)
+        assert (run_spec_key(RunSpec("AES", 0.05, "Conduit", on))
+                == run_spec_key(RunSpec("AES", 0.05, "Conduit", off)))
+
+    def test_other_platform_knobs_still_keyed(self):
+        base = ExperimentConfig(workload_scale=0.05).platform
+        batched_off = dataclasses.replace(base, batched_movement=False)
+        assert (run_spec_key(RunSpec("AES", 0.05, "Conduit", base))
+                != run_spec_key(RunSpec("AES", 0.05, "Conduit",
+                                        batched_off)))
