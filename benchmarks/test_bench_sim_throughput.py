@@ -24,6 +24,8 @@ count on multi-core machines.
 import dataclasses
 import json
 import os
+import platform as host_platform
+import sys
 import time
 
 import pytest
@@ -168,6 +170,25 @@ def test_bench_parallel_sweep_speedup(benchmark, bench_config):
 BENCH_RECORD_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                                  "BENCH_vectorized.json")
 
+#: Schema version of the archived record.  The record is *tracked* but
+#: overwritten by every benchmark run, so each entry must carry enough
+#: metadata (scale, host, schema) to be interpretable after the machine
+#: that wrote it is gone -- and so that a stale-schema entry fails the
+#: suite loudly (``tests/test_bench_record.py`` pins the same literal)
+#: instead of silently mixing fields from different eras.
+#: Version 2: added ``schema_version``, ``host`` and ``recorded_unix``.
+BENCH_RECORD_SCHEMA_VERSION = 2
+
+
+def _host_metadata():
+    """Where the record's live numbers were measured."""
+    return {
+        "platform": host_platform.platform(),
+        "machine": host_platform.machine(),
+        "python": sys.version.split()[0],
+        "usable_cpus": _usable_cpus(),
+    }
+
 #: The paired A/B numbers recorded when the vectorized engine landed
 #: (PR 6): Fig. 7 serial sweep at scale 0.25, alternating
 #: baseline/current subprocesses on the same machine, best-vs-best over
@@ -210,7 +231,10 @@ def test_bench_vectorized_engine_record(benchmark, bench_config):
     _assert_identical(vec_results, obj_results)
     ratio = obj_s / vec_s if vec_s else float("inf")
     record = {
+        "schema_version": BENCH_RECORD_SCHEMA_VERSION,
         "bench_scale": BENCH_SCALE,
+        "host": _host_metadata(),
+        "recorded_unix": round(time.time(), 3),
         "sweep_pairs": len(vec_results),
         "vectorized_sweep_s": vec_s,
         "object_sweep_s": obj_s,

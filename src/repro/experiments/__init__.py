@@ -52,6 +52,11 @@ from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
                                       speedup_table)
 from repro.experiments.table3_workloads import run_table3
 
+# The fleet-serving experiment lives in its own package; a plain module
+# import (no attribute access) registers its definition while staying
+# safe under the repro.serve -> repro.experiments import cycle.
+import repro.serve.experiment  # noqa: E402,F401
+
 # The composite depends on the member definitions above being registered.
 _register_report()
 

@@ -1,0 +1,102 @@
+"""Per-tenant SLO accounting: the fleet-level generalization of Fig. 8.
+
+Fig. 8 reports one workload's per-instruction p99/p99.99 under one
+policy; a multi-tenant fleet needs the same machinery per *tenant* and
+per *request*: latency percentiles (p50/p99/p999), achieved vs. demanded
+throughput, rejection counts, and a fairness index over how the fleet's
+capacity was split.  Jain's index is the standard choice: 1.0 means every
+tenant achieved the same fraction of its demand, 1/n means one tenant
+took everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.serve.fleet import FleetOutcome
+
+
+def latency_percentile_ms(latencies_ns: Sequence[float],
+                          percentile: float) -> float:
+    """A latency percentile in milliseconds (0.0 for an empty sample)."""
+    if not latencies_ns:
+        return 0.0
+    array = np.asarray(latencies_ns, dtype=float)
+    return float(np.percentile(array, percentile)) / 1e6
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of ``values`` (1.0 = perfectly fair).
+
+    Defined as ``(sum x)^2 / (n * sum x^2)``; an all-zero sample is
+    vacuously fair (nobody got anything, equally).
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 1.0
+    square_sum = float(np.sum(array * array))
+    if square_sum == 0.0:
+        return 1.0
+    total = float(np.sum(array))
+    return total * total / (array.size * square_sum)
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """One tenant's SLO summary at one load level."""
+
+    tenant: str
+    arrival: str
+    demand_rps: float
+    achieved_rps: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    mean_ms: float
+    admitted: int
+    rejected: int
+
+    @property
+    def satisfaction(self) -> float:
+        """Achieved / demanded throughput (1.0 = nothing shed)."""
+        return self.achieved_rps / self.demand_rps if self.demand_rps else 1.0
+
+
+def tenant_slos(outcome: FleetOutcome) -> List[TenantSLO]:
+    """Per-tenant SLO summaries of one simulated load level."""
+    slos: List[TenantSLO] = []
+    for tenant in outcome.tenants.values():
+        latencies = tenant.latencies_ns
+        mean_ms = (float(np.mean(np.asarray(latencies, dtype=float))) / 1e6
+                   if latencies else 0.0)
+        slos.append(TenantSLO(
+            tenant=tenant.tenant,
+            arrival=tenant.arrival,
+            demand_rps=tenant.offered / outcome.horizon_s,
+            achieved_rps=tenant.admitted / outcome.horizon_s,
+            p50_ms=latency_percentile_ms(latencies, 50.0),
+            p99_ms=latency_percentile_ms(latencies, 99.0),
+            p999_ms=latency_percentile_ms(latencies, 99.9),
+            mean_ms=mean_ms,
+            admitted=tenant.admitted,
+            rejected=tenant.rejected))
+    return slos
+
+
+def fleet_slo_row(outcome: FleetOutcome) -> Dict[str, float]:
+    """Fleet-wide SLO numbers of one load level (one table row's worth)."""
+    latencies = outcome.all_latencies_ns()
+    offered = outcome.admitted + outcome.rejected
+    slos = tenant_slos(outcome)
+    return {
+        "offered_rps": offered / outcome.horizon_s,
+        "achieved_rps": outcome.admitted / outcome.horizon_s,
+        "p50_ms": latency_percentile_ms(latencies, 50.0),
+        "p99_ms": latency_percentile_ms(latencies, 99.0),
+        "p999_ms": latency_percentile_ms(latencies, 99.9),
+        "rejected_pct": 100.0 * outcome.rejected / offered if offered else 0.0,
+        "fairness": jain_fairness([slo.satisfaction for slo in slos]),
+    }
