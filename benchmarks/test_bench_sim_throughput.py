@@ -177,7 +177,18 @@ BENCH_RECORD_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 #: suite loudly (``tests/test_bench_record.py`` pins the same literal)
 #: instead of silently mixing fields from different eras.
 #: Version 2: added ``schema_version``, ``host`` and ``recorded_unix``.
-BENCH_RECORD_SCHEMA_VERSION = 2
+#: Version 3: added the wave-batched offload-decision A/B
+#: (``reference_offload_sweep_s``, ``batched_over_reference_speedup``,
+#: ``pr8_landing_vs_reference``) and the default-engine floor asserts.
+BENCH_RECORD_SCHEMA_VERSION = 3
+
+#: Fail-loud floor for "the default engine must not lose to its golden
+#: reference".  Single-round wall-clock on a shared 1-CPU runner swings
+#: by tens of percent, so the floor is a noise allowance, not a target:
+#: a genuine regression (like the archived 0.85x object-vs-vectorized
+#: reading at scale 1.0, since fixed by the single-page fast path)
+#: trips it, while scheduler jitter does not.
+DEFAULT_ENGINE_FLOOR = 0.70
 
 
 def _host_metadata():
@@ -205,31 +216,67 @@ PR6_LANDING_RECORD = {
                     "ratio under machine noise"),
 }
 
+#: The paired A/B numbers recorded when the wave-batched offload
+#: decision engine landed (PR 8): Fig. 7 serial sweep at scale 0.25, 10
+#: alternating in-process pairs after warmup on the same (1-CPU, noisy)
+#: machine.  Honest result: the ISSUE targeted >= 1.5x but the measured
+#: outcome is parity-to-slight-win -- real Fig. 7 programs slice into
+#: ~1.5-member waves (operand overlap forces wave breaks), so the win
+#: comes from the cheaper packed per-member decision path, not from
+#: amortized collection.  Recorded anyway per the acceptance criteria;
+#: the differential suite (``tests/test_batched_offload.py``) pins the
+#: engines bit-equal, so the default stays on the batched path.
+PR8_LANDING_RECORD = {
+    "scale": 0.25,
+    "reference_offload_best_s": 1.298,
+    "batched_offload_best_s": 1.269,
+    "speedup_best_vs_best": 1.02,
+    "median_pair_speedup": 1.05,
+    "target_speedup": 1.5,
+    "target_met": False,
+    "mean_wave_members": 1.47,
+    "methodology": ("paired A/B in-process harness, 10 alternating "
+                    "warm pairs, gc.collect() before each sweep; "
+                    "best-vs-best plus the median per-pair ratio "
+                    "under heavy 1-CPU machine noise"),
+}
+
 
 def test_bench_vectorized_engine_record(benchmark, bench_config):
-    """Time both movement engines on one Fig. 7 sweep; archive the record.
+    """Time the default engine against both golden references; archive.
 
-    The live numbers track the vectorized/object ratio on the current
-    machine; the archived JSON also carries the pinned PR 6 landing
-    measurement against the PR 5 baseline so the perf trajectory is
-    recorded even as hardware changes underneath CI.
+    Three Fig. 7 sweeps in one timed round: the default configuration
+    (vectorized movement + batched offload decisions), the object
+    movement engine, and the per-instruction reference decision path.
+    The live ratios track the current machine; the archived JSON also
+    carries the pinned PR 6 and PR 8 landing measurements so the perf
+    trajectory is recorded even as hardware changes underneath CI.
+    Fails loudly (``DEFAULT_ENGINE_FLOOR``) when the default engine
+    loses to either reference beyond single-round noise.
     """
     object_config = dataclasses.replace(
         bench_config,
         platform=dataclasses.replace(bench_config.platform,
                                      vectorized_movement=False))
+    reference_config = dataclasses.replace(
+        bench_config,
+        platform=dataclasses.replace(bench_config.platform,
+                                     batched_offload=False))
 
-    def both_engines():
+    def all_engines():
         vec_results, vec_s = _full_sweep(bench_config)
         obj_results, obj_s = _full_sweep(object_config)
-        return vec_results, vec_s, obj_results, obj_s
+        ref_results, ref_s = _full_sweep(reference_config)
+        return vec_results, vec_s, obj_results, obj_s, ref_results, ref_s
 
-    vec_results, vec_s, obj_results, obj_s = run_once(benchmark,
-                                                      both_engines)
+    (vec_results, vec_s, obj_results, obj_s,
+     ref_results, ref_s) = run_once(benchmark, all_engines)
     # Bit-equality is the engines' contract; a perf benchmark that
     # silently compared different answers would be meaningless.
     _assert_identical(vec_results, obj_results)
-    ratio = obj_s / vec_s if vec_s else float("inf")
+    _assert_identical(vec_results, ref_results)
+    movement_ratio = obj_s / vec_s if vec_s else float("inf")
+    decision_ratio = ref_s / vec_s if vec_s else float("inf")
     record = {
         "schema_version": BENCH_RECORD_SCHEMA_VERSION,
         "bench_scale": BENCH_SCALE,
@@ -238,17 +285,32 @@ def test_bench_vectorized_engine_record(benchmark, bench_config):
         "sweep_pairs": len(vec_results),
         "vectorized_sweep_s": vec_s,
         "object_sweep_s": obj_s,
-        "vectorized_over_object_speedup": ratio,
+        "reference_offload_sweep_s": ref_s,
+        "vectorized_over_object_speedup": movement_ratio,
+        "batched_over_reference_speedup": decision_ratio,
         "pr6_landing_vs_pr5": PR6_LANDING_RECORD,
+        "pr8_landing_vs_reference": PR8_LANDING_RECORD,
     }
     with open(BENCH_RECORD_PATH, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     benchmark.extra_info.update(record)
-    print(f"\nVectorized engine: {vec_s:.2f} s vs object engine "
-          f"{obj_s:.2f} s at scale {BENCH_SCALE} = {ratio:.2f}x "
+    print(f"\nDefault engine: {vec_s:.2f} s vs object movement "
+          f"{obj_s:.2f} s ({movement_ratio:.2f}x) vs reference decisions "
+          f"{ref_s:.2f} s ({decision_ratio:.2f}x) at scale {BENCH_SCALE} "
           f"(record: {os.path.abspath(BENCH_RECORD_PATH)})")
-    assert vec_s > 0 and obj_s > 0
+    assert vec_s > 0 and obj_s > 0 and ref_s > 0
+    # The default engine must not *lose* to its golden references: the
+    # archived 0.85x era (object engine beating the vectorized one at
+    # scale 1.0) is exactly the regression class this guards against.
+    assert movement_ratio >= DEFAULT_ENGINE_FLOOR, (
+        f"vectorized movement engine lost to the object reference "
+        f"({movement_ratio:.2f}x < {DEFAULT_ENGINE_FLOOR}x floor) at "
+        f"scale {BENCH_SCALE}")
+    assert decision_ratio >= DEFAULT_ENGINE_FLOOR, (
+        f"batched offload engine lost to the per-instruction reference "
+        f"({decision_ratio:.2f}x < {DEFAULT_ENGINE_FLOOR}x floor) at "
+        f"scale {BENCH_SCALE}")
 
 
 @pytest.mark.slow

@@ -60,10 +60,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "REPRO_SWEEP_CACHE, then .sweep_cache/)")
     run.add_argument("--json", dest="json_out", metavar="OUT",
                      help="also write sections/headlines/stats as JSON")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the run under cProfile and print a "
+                          "per-phase time breakdown (collect / decide / "
+                          "transform / move / execute); forces an "
+                          "in-process serial sweep and disables the "
+                          "result cache so the simulation actually runs")
     run.add_argument("-v", "--verbose", action="store_true",
                      help="print sweep statistics "
                           "(pairs/executed/cache-hits/workers)")
     return parser
+
+
+#: ``--profile`` phase map: the first rule whose fragment appears in a
+#: profiled function's file path claims its exclusive (tottime) cost, so
+#: no function is double-counted.  Order matters only where a later
+#: rule's fragment is a prefix of an earlier one's directory.
+PROFILE_PHASES = (
+    ("collect", ("core/offload/features", "core/compiler/waves")),
+    ("decide", ("core/offload/policies", "core/offload/cost_model",
+                "core/offload/offloader")),
+    ("transform", ("core/offload/transform",)),
+    ("move", ("core/platform", "core/coherence", "core/contention",
+              "ssd/channels", "dram/")),
+    ("execute", ("ssd/queues", "ssd/events", "isp/", "ifp/", "host/",
+                 "ssd/")),
+)
+
+
+def _profile_breakdown(profile) -> List[str]:
+    """Aggregate a cProfile run into per-phase exclusive-time lines."""
+    import pstats
+    stats = pstats.Stats(profile)
+    totals = {phase: 0.0 for phase, _ in PROFILE_PHASES}
+    totals["other"] = 0.0
+    grand = 0.0
+    for (filename, _, _), (_, _, tottime, _, _) in stats.stats.items():
+        path = filename.replace("\\", "/")
+        for phase, fragments in PROFILE_PHASES:
+            if any(fragment in path for fragment in fragments):
+                totals[phase] += tottime
+                break
+        else:
+            totals["other"] += tottime
+        grand += tottime
+    lines = ["[profile] phase breakdown (exclusive time):"]
+    for phase in [name for name, _ in PROFILE_PHASES] + ["other"]:
+        seconds = totals[phase]
+        share = 100.0 * seconds / grand if grand else 0.0
+        lines.append(f"[profile]   {phase:<9} {seconds:8.3f}s  "
+                     f"{share:5.1f}%")
+    lines.append(f"[profile]   {'total':<9} {grand:8.3f}s")
+    return lines
 
 
 def _cmd_list() -> int:
@@ -98,14 +146,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     config = (ExperimentConfig(workload_scale=args.scale)
               if args.scale is not None else ExperimentConfig())
-    if args.no_cache:
+    if args.no_cache or args.profile:
+        # Profiling a cache hit would time JSON deserialization, not the
+        # simulator, so --profile always executes the sweep.
         cache_dir = None
     else:
         cache_dir = args.cache_dir or default_sweep_cache_dir()
+    profile = None
+    if args.profile:
+        import cProfile
+        profile = cProfile.Profile()
     try:
-        result = run_experiment(definition, config, platforms=platforms,
-                                parallel=not args.serial,
-                                workers=args.workers, cache_dir=cache_dir)
+        if profile is not None:
+            # Worker processes would escape the profiler; stay in-process.
+            profile.enable()
+            try:
+                result = run_experiment(definition, config,
+                                        platforms=platforms, parallel=False,
+                                        cache_dir=None)
+            finally:
+                profile.disable()
+        else:
+            result = run_experiment(definition, config, platforms=platforms,
+                                    parallel=not args.serial,
+                                    workers=args.workers,
+                                    cache_dir=cache_dir)
     except ValueError as error:
         # The library API's user-error channel (duplicate variants, bad
         # worker counts, ...); internal failures still traceback.
@@ -128,6 +193,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.verbose:
         for name, stats in result.stats:
             print(f"[sweep {name}] {stats.summary()}")
+    if profile is not None:
+        for line in _profile_breakdown(profile):
+            print(line)
     if args.json_out:
         to_json(result.to_jsonable(), path=args.json_out)
         print(f"wrote {args.json_out}")

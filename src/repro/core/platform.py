@@ -126,6 +126,21 @@ class PlatformConfig:
     #: the golden reference, mirroring the ``batched_movement`` pattern.
     vectorized_movement: bool = True
 
+    #: Drive offload decisions wave-by-wave: a dependency slicer groups
+    #: the compiled IR into ready waves (page-disjoint, dependence-free
+    #: program-order blocks), the feature collector precollects each
+    #: wave's operand locations, L2P probes and movement-table sums in
+    #: one pass, and Conduit's argmin runs on packed scalars without
+    #: per-instruction feature objects.  Bit-exact with the
+    #: per-instruction path by construction: identical per-component
+    #: latencies are charged (Section 4.5's overhead reproduction is
+    #: unchanged), mapping-cache LRU refreshes are replayed at each
+    #: member's decision time, and any mid-wave residence or
+    #: mapping-cache hazard falls back to the reference path.  The
+    #: per-instruction engine remains the golden reference, mirroring
+    #: the ``batched_movement`` / ``vectorized_movement`` pattern.
+    batched_offload: bool = True
+
     # -- Backend roster (the platform's compute shape is data, not code) ----
 
     #: Number of ISP compute-core backends to register.  ``1`` (the paper's
@@ -354,6 +369,12 @@ class SSDPlatform:
             DataLocation.HOST: self._host_window,
         }
         self._residence: Dict[int, DataLocation] = {}
+        #: Bumped on every eviction-driven residence change -- the only
+        #: way one instruction's dispatch can move *another* page-disjoint
+        #: instruction's operands.  The wave-batched offload engine
+        #: snapshots it to prove its precollected operand locations are
+        #: still live at each member's decision time.
+        self.eviction_epoch = 0
         self.movement = DataMovementStats()
         self._move_table = self._build_move_table()
         #: EWMA monitor of observed movement overrun per operand path,
@@ -1072,6 +1093,7 @@ class SSDPlatform:
         location = self.location_of(lpa)
         if location is DataLocation.FLASH:
             return
+        self.eviction_epoch += 1
         actions = self.coherence.on_evict(lpa)
         if actions:
             # Dirty page: asynchronous write-back consumes flash bandwidth.

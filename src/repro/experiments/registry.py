@@ -186,6 +186,14 @@ def per_platform(builder: Callable[
     return build
 
 
+#: Version of the ``repro run --json`` document layout.  Bump whenever a
+#: top-level key is added, removed or changes meaning, so downstream
+#: consumers (dashboards, regression diffs) can detect layout drift
+#: instead of silently misreading fields.  Version 1: the initial
+#: versioned layout (experiment/platforms/sections/headline/sweeps).
+RESULT_SCHEMA_VERSION = 1
+
+
 @dataclass
 class ExperimentResult:
     """What :func:`run_experiment` returns."""
@@ -213,6 +221,7 @@ class ExperimentResult:
     def to_jsonable(self) -> Dict[str, object]:
         """A JSON-serializable summary (``repro run --json`` writes this)."""
         return {
+            "schema": RESULT_SCHEMA_VERSION,
             "experiment": self.name,
             "platforms": list(self.platform_names),
             "sections": {name: rows for name, rows in self.sections.items()},

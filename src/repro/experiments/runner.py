@@ -181,6 +181,11 @@ def run_spec_key(spec: RunSpec) -> str:
     platform_encoded = encoded.get("platform")
     if isinstance(platform_encoded, dict):
         platform_encoded.pop("vectorized_movement", None)
+        # Same contract for the wave-batched decision engine: bit-exact
+        # against the per-instruction reference by construction (pinned
+        # by tests/test_batched_offload.py), so both flag states share
+        # cache entries.
+        platform_encoded.pop("batched_offload", None)
     payload = {"version": SWEEP_CACHE_VERSION, "spec": encoded,
                "backends": list(backend_roster(spec.platform))}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))

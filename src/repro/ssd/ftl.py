@@ -51,6 +51,12 @@ class MappingCache:
             raise SimulationError("mapping cache must hold at least 1 entry")
         self.capacity = capacity_entries
         self._entries: "OrderedDict[int, PhysicalPageAddress]" = OrderedDict()
+        #: Bumped on every *membership* change (a new key inserted --
+        #: including the capacity evictions that follow within the same
+        #: call -- or a present key invalidated); pure LRU refreshes leave
+        #: it untouched.  The wave-batched offload engine snapshots it to
+        #: prove its precollected hit/miss partitions are still live.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,14 +68,18 @@ class MappingCache:
         return self._entries[lpa]
 
     def insert(self, lpa: int, ppa: PhysicalPageAddress) -> None:
-        if lpa in self._entries:
-            self._entries.move_to_end(lpa)
-        self._entries[lpa] = ppa
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        if lpa in entries:
+            entries.move_to_end(lpa)
+        else:
+            self.version += 1
+        entries[lpa] = ppa
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
 
     def invalidate(self, lpa: int) -> None:
-        self._entries.pop(lpa, None)
+        if self._entries.pop(lpa, None) is not None:
+            self.version += 1
 
 
 class FlashTranslationLayer:

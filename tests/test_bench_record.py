@@ -23,7 +23,7 @@ import os
 
 #: Must match BENCH_RECORD_SCHEMA_VERSION in
 #: benchmarks/test_bench_sim_throughput.py.  Bump both together.
-EXPECTED_SCHEMA_VERSION = 2
+EXPECTED_SCHEMA_VERSION = 3
 
 RECORD_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                            "BENCH_vectorized.json")
@@ -37,8 +37,11 @@ REQUIRED_FIELDS = {
     "sweep_pairs": int,
     "vectorized_sweep_s": (int, float),
     "object_sweep_s": (int, float),
+    "reference_offload_sweep_s": (int, float),
     "vectorized_over_object_speedup": (int, float),
+    "batched_over_reference_speedup": (int, float),
     "pr6_landing_vs_pr5": dict,
+    "pr8_landing_vs_reference": dict,
 }
 
 REQUIRED_HOST_FIELDS = {
@@ -92,9 +95,19 @@ def test_record_values_are_sane():
     assert record["sweep_pairs"] > 0
     assert record["vectorized_sweep_s"] > 0.0
     assert record["object_sweep_s"] > 0.0
+    assert record["reference_offload_sweep_s"] > 0.0
     assert math.isfinite(record["vectorized_over_object_speedup"])
     assert record["vectorized_over_object_speedup"] > 0.0
+    assert math.isfinite(record["batched_over_reference_speedup"])
+    assert record["batched_over_reference_speedup"] > 0.0
     # Stamped after 2026-01-01 (the schema-2 era began mid-2026).
     assert record["recorded_unix"] > 1767225600
     landing = record["pr6_landing_vs_pr5"]
     assert landing["speedup_best_vs_best"] > 1.0
+    pr8 = record["pr8_landing_vs_reference"]
+    # The PR 8 anchor records honest numbers against an explicit target;
+    # both fields must be present even (especially) when the target was
+    # missed, so the trajectory stays interpretable.
+    assert pr8["speedup_best_vs_best"] > 0.0
+    assert pr8["target_speedup"] >= 1.0
+    assert isinstance(pr8["target_met"], bool)

@@ -32,6 +32,7 @@ from repro.experiments import (EXPERIMENT_REGISTRY, ExperimentConfig,
                                register_experiment,
                                register_platform_variant, run_experiment,
                                run_spec_key)
+from repro.experiments.registry import RESULT_SCHEMA_VERSION
 from repro.experiments.platforms import (MULTICORE_ISP_CORES,
                                          PLATFORM_VARIANTS)
 from repro.ssd.config import small_ssd_config
@@ -400,6 +401,35 @@ class TestCLI:
         assert payload["experiment"] == "fig8"
         assert payload["sections"]["fig8"]
         assert payload["sweeps"][0]["pairs"] == 8
+
+    def test_json_schema_version_pinned(self, capsys, cli_cache_dir,
+                                        tmp_path):
+        """The JSON document is versioned and the version is pinned.
+
+        The literal ``1`` is deliberate (not imported): changing the
+        document layout must both bump ``RESULT_SCHEMA_VERSION`` and
+        consciously update this pin, mirroring the benchmark-record
+        schema test.
+        """
+        out_path = tmp_path / "fig8.json"
+        rc = cli_main(["run", "fig8", "--scale", str(CLI_SCALE), "--serial",
+                       "--cache-dir", cli_cache_dir, "--json",
+                       str(out_path)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["schema"] == RESULT_SCHEMA_VERSION
+
+    def test_profile_prints_phase_breakdown(self, capsys):
+        rc = cli_main(["run", "fig8", "--scale", str(CLI_SCALE),
+                       "--profile"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[profile] phase breakdown" in out
+        for phase in ("collect", "decide", "transform", "move", "execute",
+                      "other", "total"):
+            assert f"[profile]   {phase}" in out
 
     def test_unknown_experiment_exit_code_and_message(self, capsys):
         rc = cli_main(["run", "fig99", "--no-cache"])

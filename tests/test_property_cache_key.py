@@ -38,6 +38,10 @@ KEY_EXEMPT_PLATFORM = {
     # The vectorized engine is bit-exact against the object engine (see
     # tests/test_vectorized_movement.py), so both may share entries.
     ("vectorized_movement",),
+    # The wave-batched decision engine is bit-exact against the
+    # per-instruction reference (see tests/test_batched_offload.py), so
+    # both may share entries.
+    ("batched_offload",),
 }
 
 
