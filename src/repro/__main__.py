@@ -8,7 +8,10 @@ deprecation shims that forward here):
 * ``python -m repro run <experiment>`` -- run one registry entry, with
   ``--platform VARIANT`` (repeatable: sweeps the platform axis),
   ``--scale S``, ``--serial`` / ``--workers N``, ``--no-cache`` /
-  ``--cache-dir DIR``, ``--json OUT`` and ``-v`` (sweep statistics).
+  ``--cache-dir DIR``, ``--json OUT`` and ``-v`` (sweep statistics);
+* ``python -m repro compare <experiment> <base> <other>`` -- sweep one
+  experiment's axes over two platform variants and diff the grids pair
+  by pair (time/energy ratios plus maintenance counters).
 
 Everything the CLI does goes through the public library API
 (:func:`repro.experiments.run_experiment`), so scripted users get exactly
@@ -69,6 +72,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-v", "--verbose", action="store_true",
                      help="print sweep statistics "
                           "(pairs/executed/cache-hits/workers)")
+
+    compare = commands.add_parser(
+        "compare", help="diff two platform variants over one experiment's "
+                        "(workload x policy) axes")
+    compare.add_argument("experiment",
+                         help="registry name of a policy-sweeping "
+                              "experiment (see `python -m repro list`)")
+    compare.add_argument("base", help="baseline platform variant")
+    compare.add_argument("other", help="variant compared against the base")
+    compare.add_argument("--scale", type=float, default=None, metavar="S",
+                         help="workload scale (default: 0.25)")
+    compare_workers = compare.add_mutually_exclusive_group()
+    compare_workers.add_argument("--serial", action="store_true",
+                                 help="run the sweep in-process")
+    compare_workers.add_argument("--workers", type=int, metavar="N",
+                                 help="process-pool worker count")
+    compare_cache = compare.add_mutually_exclusive_group()
+    compare_cache.add_argument("--no-cache", action="store_true",
+                               help="disable the on-disk sweep cache")
+    compare_cache.add_argument("--cache-dir", metavar="DIR",
+                               help="sweep cache directory")
+    compare.add_argument("--json", dest="json_out", metavar="OUT",
+                         help="also write the comparison document as JSON")
+    compare.add_argument("-v", "--verbose", action="store_true",
+                         help="print sweep statistics")
     return parser
 
 
@@ -202,10 +230,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import (ExperimentConfig,
+                                   default_sweep_cache_dir, format_table,
+                                   run_compare, to_json)
+    config = (ExperimentConfig(workload_scale=args.scale)
+              if args.scale is not None else ExperimentConfig())
+    cache_dir = (None if args.no_cache
+                 else args.cache_dir or default_sweep_cache_dir())
+    try:
+        document = run_compare(args.experiment, args.base, args.other,
+                               config, parallel=not args.serial,
+                               workers=args.workers, cache_dir=cache_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"== {args.experiment}: {args.base} vs {args.other} ==")
+    print(format_table(document["rows"], float_digits=3))
+    summary = document["summary"]
+    if summary.get("pairs"):
+        print(f"geomean time ratio {summary['geomean_time_ratio']:.3f}x, "
+              f"energy ratio {summary['geomean_energy_ratio']:.3f}x over "
+              f"{summary['pairs']} pairs; worst "
+              f"{summary['max_time_ratio']:.3f}x on "
+              f"{'/'.join(summary['max_time_ratio_pair'])}")
+    else:
+        print("error: the variants' sweeps share no (workload, policy) "
+              "pairs", file=sys.stderr)
+        return 1
+    if args.verbose:
+        print(f"[sweep {args.experiment}] {document['sweep']}")
+    if args.json_out:
+        to_json(document, path=args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "compare":
+        return _cmd_compare(args)
     return _cmd_run(args)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.common import OpType, Resource, ResourceLike, SSD_RESOURCES
 from repro.energy.model import EnergyBreakdown
+from repro.ssd.lifetime.engine import MaintenanceStats
 
 
 @dataclass(slots=True)
@@ -79,6 +80,10 @@ class ExecutionResult:
     breakdown: ExecutionBreakdown
     offload_overhead_avg_ns: float = 0.0
     offload_overhead_max_ns: float = 0.0
+    #: Device-lifetime view of the run: background GC/WL traffic, wear
+    #: statistics and write amplification (``None`` only for results
+    #: pickled before the lifetime subsystem existed).
+    maintenance: Optional[MaintenanceStats] = None
 
     # -- Derived metrics ----------------------------------------------------------
 

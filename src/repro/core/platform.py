@@ -59,6 +59,8 @@ from repro.ifp.unit import IFPBackend, IFPUnit
 from repro.isp.core import EmbeddedCoreComplex, ISPBackend
 from repro.ssd.config import SSDConfig
 from repro.ssd.events import Server, sequential_sum
+from repro.ssd.lifetime import (BackgroundFlashEngine, LifetimeConfig,
+                                MaintenanceStats, apply_drive_age)
 from repro.ssd.queues import ResourceQueueSet
 from repro.ssd.ssd import SSD
 
@@ -156,6 +158,13 @@ class PlatformConfig:
     #: Opt-in CXL-attached PuD tier with its own latency/energy/bandwidth
     #: point (see :mod:`repro.dram.cxl`).  ``None`` disables the tier.
     cxl_pud: Optional[CXLPuDConfig] = None
+
+    #: Device-lifetime axis (see :mod:`repro.ssd.lifetime`): drive-age
+    #: profile applied at construction and the background GC/wear engine
+    #: that turns maintenance into live traffic on the shared flash
+    #: channels.  The default (engine off, no profile) is bit-identical
+    #: to the fresh-drive seed behavior.
+    lifetime: LifetimeConfig = field(default_factory=LifetimeConfig)
 
 
 #: Integer location codes of the vectorized movement engine's flat
@@ -346,6 +355,15 @@ class SSDPlatform:
         self.host_gpu = HostGPU(self.config.host_gpu)
         self.energy = EnergyAccount(ssd_config.energy,
                                     self.config.host_memory)
+        lifetime = self.config.lifetime
+        if lifetime.drive_age is not None:
+            # Zero-time pre-history: fragments the array and seeds wear
+            # before the dataset is placed, so allocation and GC see an
+            # aged drive from the first write.
+            apply_drive_age(self.ssd, lifetime.drive_age)
+        if lifetime.background_flash:
+            self.ssd.attach_background_engine(
+                BackgroundFlashEngine(self.ssd, lifetime, self.energy))
         self.coherence = CoherenceDirectory(self.config.coherence_policy)
         #: Every compute engine of the system, keyed by identity; the
         #: offload stack discovers its candidates here.
@@ -1235,6 +1253,58 @@ class SSDPlatform:
         backend on the same path.
         """
         return self.backends[resource].home_location.value
+
+    def maintenance_stats(self) -> MaintenanceStats:
+        """Device-lifetime snapshot of the run (GC/WL pressure and wear).
+
+        Aggregates the background engine's counters (or, with the engine
+        off, the legacy synchronous GC/WL counters) with the NAND array's
+        erase-count statistics and the FTL's write-amplification view.
+        Attached to every :class:`~repro.core.metrics.ExecutionResult`.
+        """
+        ssd = self.ssd
+        lifetime = self.config.lifetime
+        engine = ssd.background
+        minimum, mean, maximum = ssd.array.erase_count_stats()
+        ftl_stats = ssd.ftl.stats
+        amplification = 1.0
+        if ftl_stats.host_writes:
+            amplification = 1.0 + (ftl_stats.relocated_pages /
+                                   ftl_stats.host_writes)
+        if lifetime.drive_age is not None:
+            # The profile's pre-history WA is a floor: an aged drive never
+            # reports better amplification than the state it arrived in.
+            amplification = max(amplification,
+                                lifetime.drive_age.prior_write_amplification)
+        stats = MaintenanceStats(
+            background_enabled=engine is not None,
+            drive_age=(lifetime.drive_age.name if lifetime.drive_age
+                       else "fresh"),
+            free_block_fraction=ssd.ftl.free_block_fraction(),
+            erase_count_min=minimum,
+            erase_count_mean=mean,
+            erase_count_max=maximum,
+            erase_count_variance=ssd.array.erase_count_variance(),
+            wear_imbalance=ssd.wear_leveler.imbalance(),
+            write_amplification=amplification,
+            contention_samples=self.contention.samples)
+        if engine is not None:
+            stats.gc_steps = engine.gc_steps
+            stats.gc_relocated_pages = engine.gc_relocated_pages
+            stats.gc_erased_blocks = engine.gc_erased_blocks
+            stats.wl_runs = engine.wl_runs
+            stats.wl_migrated_pages = engine.wl_migrated_pages
+            stats.wl_erased_blocks = engine.wl_erased_blocks
+            stats.background_busy_ns = engine.busy_ns
+            stats.foreground_stall_ns = engine.foreground_stall_ns
+        else:
+            stats.gc_steps = ssd.gc.invocations
+            stats.gc_relocated_pages = ssd.gc.total_relocated
+            stats.gc_erased_blocks = ssd.gc.total_erased
+            stats.wl_runs = ssd.wear_leveler.invocations
+            stats.wl_migrated_pages = ssd.wear_leveler.total_migrated
+            stats.foreground_stall_ns = ssd.stats.maintenance_latency_ns
+        return stats
 
     def observe_movement_contention(self, resource: ResourceLike,
                                     estimated_ns: float,

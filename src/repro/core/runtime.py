@@ -119,7 +119,8 @@ class ConduitRuntime:
             total_time_ns=makespan - start_ns, records=records,
             energy=platform.energy.breakdown(), breakdown=breakdown,
             offload_overhead_avg_ns=offloader.average_overhead_ns,
-            offload_overhead_max_ns=offloader.max_overhead_ns)
+            offload_overhead_max_ns=offloader.max_overhead_ns,
+            maintenance=platform.maintenance_stats())
 
     # -- Dispatch loops ------------------------------------------------------------
 
@@ -309,4 +310,5 @@ class HostRuntime:
         return ExecutionResult(
             workload=workload_name or program.name, policy=name,
             total_time_ns=makespan, records=records,
-            energy=platform.energy.breakdown(), breakdown=breakdown)
+            energy=platform.energy.breakdown(), breakdown=breakdown,
+            maintenance=platform.maintenance_stats())

@@ -14,7 +14,9 @@ from repro.experiments.platforms import (MULTICORE_ISP_CORES,
                                          experiment_platform_config,
                                          platform_variant,
                                          register_platform_variant,
-                                         with_contention_feedback)
+                                         with_adaptive_ftl,
+                                         with_contention_feedback,
+                                         with_drive_age)
 from repro.experiments.registry import (EXPERIMENT_REGISTRY,
                                         ExperimentContext, ExperimentDef,
                                         ExperimentResult,
@@ -28,9 +30,14 @@ from repro.experiments.ablations import (ABLATION_VECTOR_WIDTHS,
 from repro.experiments.backend_ablation import (ABLATION_PLATFORMS,
                                                 ablation_rosters,
                                                 run_backend_ablation)
+from repro.experiments.compare import (COMPARE_SCHEMA_VERSION, compare_grids,
+                                       run_compare)
 from repro.experiments.contention import (CONTENTION_PLATFORMS,
                                           CONTENTION_WORKLOADS,
                                           run_contention)
+from repro.experiments.lifetime import (LIFETIME_PLATFORMS,
+                                        LIFETIME_POLICIES,
+                                        LIFETIME_WORKLOADS, run_lifetime)
 from repro.experiments.fig4_case_study import run_case_study
 from repro.experiments.fig5_motivation import run_motivation
 from repro.experiments.fig7_speedup_energy import (Fig7Results,
@@ -71,7 +78,10 @@ __all__ = [
     "ABLATION_PLATFORMS", "ablation_rosters", "run_backend_ablation",
     "ABLATION_VECTOR_WIDTHS", "COST_ABLATIONS", "cost_ablation_rows",
     "coherence_ablation_rows", "vector_width_ablation_rows",
+    "COMPARE_SCHEMA_VERSION", "compare_grids", "run_compare",
     "CONTENTION_PLATFORMS", "CONTENTION_WORKLOADS", "run_contention",
+    "LIFETIME_PLATFORMS", "LIFETIME_POLICIES", "LIFETIME_WORKLOADS",
+    "run_lifetime", "with_adaptive_ftl", "with_drive_age",
     "run_case_study", "run_motivation", "Fig7Results",
     "fig7_results_from_grid", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",

@@ -32,6 +32,9 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.common import MIB
 from repro.core.platform import PlatformConfig
 from repro.dram.cxl import CXLPuDConfig
+from repro.ssd.config import GCVictimPolicy
+from repro.ssd.lifetime import (DriveAgeProfile, LifetimeConfig,
+                                MID_LIFE_PROFILE, NEAR_EOL_PROFILE)
 
 #: A variant maps a base platform configuration to the variant's shape.
 PlatformFactory = Callable[[PlatformConfig], PlatformConfig]
@@ -126,6 +129,34 @@ def with_contention_feedback(config: PlatformConfig) -> PlatformConfig:
     return dataclasses.replace(config, contention_feedback=True)
 
 
+def with_drive_age(config: PlatformConfig,
+                   profile: DriveAgeProfile) -> PlatformConfig:
+    """The same platform shape on an aged drive with background GC/WL on.
+
+    Turning the background flash engine on together with the age profile
+    is deliberate: an aged drive without maintenance traffic is not a
+    state a real device can be in (GC is what keeps it writable), and the
+    fresh-drive seed behavior is already the engine-off default.
+    """
+    return dataclasses.replace(
+        config,
+        lifetime=dataclasses.replace(config.lifetime, background_flash=True,
+                                     drive_age=profile))
+
+
+def with_adaptive_ftl(config: PlatformConfig) -> PlatformConfig:
+    """The same shape with the adaptive-FTL ablation knobs switched on
+    (cost-benefit GC victim selection + hot/cold write separation)."""
+    return dataclasses.replace(
+        config,
+        ssd=dataclasses.replace(
+            config.ssd,
+            ftl=dataclasses.replace(
+                config.ssd.ftl,
+                gc_victim_policy=GCVictimPolicy.COST_BENEFIT,
+                hot_cold_separation=True)))
+
+
 def _feedback_variant(inner: PlatformFactory) -> PlatformFactory:
     """Compose a variant factory with ``contention_feedback=True``."""
     def factory(base: PlatformConfig) -> PlatformConfig:
@@ -143,3 +174,25 @@ register_platform_variant("multicore-isp-feedback",
                           _feedback_variant(_multicore_isp_variant))
 register_platform_variant("cxl-pud-feedback",
                           _feedback_variant(_cxl_pud_variant))
+
+
+def _midlife_variant(base: PlatformConfig) -> PlatformConfig:
+    """Mid-life drive: background GC/WL on, contention feedback on so the
+    cost model sees (and the monitor records) the maintenance traffic."""
+    return with_drive_age(with_contention_feedback(base), MID_LIFE_PROFILE)
+
+
+def _aged_variant(base: PlatformConfig) -> PlatformConfig:
+    """Near-end-of-life drive under persistent GC pressure."""
+    return with_drive_age(with_contention_feedback(base), NEAR_EOL_PROFILE)
+
+
+def _aged_adaptive_variant(base: PlatformConfig) -> PlatformConfig:
+    """Near-EOL drive with the adaptive-FTL knobs on (the ablation twin
+    of ``default-aged``: same wear state, smarter victim selection)."""
+    return with_adaptive_ftl(_aged_variant(base))
+
+
+register_platform_variant("default-midlife", _midlife_variant)
+register_platform_variant("default-aged", _aged_variant)
+register_platform_variant("default-aged-adaptive", _aged_adaptive_variant)

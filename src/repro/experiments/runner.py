@@ -88,7 +88,13 @@ DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
 #: (the canonical config encoding folds them into every key, orphaning
 #: pre-field entries), the CXL tier gained a modelled command link, and
 #: IFP execution-channel traffic moved behind the backend protocol.
-SWEEP_CACHE_VERSION = 3
+#: Version 4: the device-lifetime subsystem -- ``PlatformConfig`` grew a
+#: ``lifetime`` axis (background GC/wear engine, drive-age profiles) and
+#: ``FTLConfig`` grew the adaptive-FTL knobs (``gc_victim_policy``,
+#: ``hot_cold_separation``); all fold into every key via the canonical
+#: config encoding, and ``ExecutionResult`` grew a ``maintenance`` field,
+#: so pre-lifetime pickles are orphaned.
+SWEEP_CACHE_VERSION = 4
 
 
 @dataclass

@@ -53,6 +53,10 @@ class PageAllocator:
         self._next_plane = 0
         #: Active block per (channel, die, plane).
         self._active: Dict[tuple, PhysicalBlockAddress] = {}
+        #: Separate active blocks for the cold write stream (GC / WL
+        #: relocations under hot/cold separation), so relocated cold data
+        #: stops interleaving with hot foreground writes in one block.
+        self._active_cold: Dict[tuple, PhysicalBlockAddress] = {}
         #: Free-block cursors per (channel, die, plane).
         self._free_cursor: Dict[tuple, int] = {}
 
@@ -73,10 +77,11 @@ class PageAllocator:
                 return PhysicalBlockAddress(channel, die, plane, index)
         return None
 
-    def _active_block(self, channel: int, die: int,
-                      plane: int) -> FlashBlock:
+    def _active_block(self, channel: int, die: int, plane: int, *,
+                      cold: bool = False) -> FlashBlock:
+        active = self._active_cold if cold else self._active
         key = (channel, die, plane)
-        address = self._active.get(key)
+        address = active.get(key)
         if address is not None:
             block = self.array.block(address)
             if not block.is_full:
@@ -86,7 +91,7 @@ class PageAllocator:
             raise SimulationError(
                 f"no free blocks on channel {channel} die {die} plane "
                 f"{plane}; garbage collection required")
-        self._active[key] = new_address
+        active[key] = new_address
         return self.array.block(new_address)
 
     # -- Allocation ------------------------------------------------------------
@@ -110,15 +115,20 @@ class PageAllocator:
                                         % self.config.planes_per_die)
         return channel, die, plane
 
-    def allocate(self, lpa: int) -> PhysicalPageAddress:
-        """Allocate and program one page for logical page ``lpa``."""
+    def allocate(self, lpa: int, *, cold: bool = False) -> PhysicalPageAddress:
+        """Allocate and program one page for logical page ``lpa``.
+
+        ``cold=True`` routes the page to the cold write stream's active
+        blocks (hot/cold separation); the default path is bit-identical
+        to the single-stream allocator.
+        """
         if self.policy in (AllocationPolicy.CHANNEL_STRIPED,
                            AllocationPolicy.DIE_STRIPED):
             channel, die, plane = self._advance_stripe()
         else:
             channel, die, plane = (self._next_channel, self._next_die,
                                    self._next_plane)
-        block = self._active_block(channel, die, plane)
+        block = self._active_block(channel, die, plane, cold=cold)
         return self.array.program_page(block.address, lpa)
 
     def allocate_colocated(self, lpas: Iterable[int]) -> List[PhysicalPageAddress]:

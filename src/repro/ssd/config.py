@@ -12,9 +12,24 @@ latch transfer = 20 ns) and tDMA = 3.3 us, and five ARM Cortex-R8 cores at
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from repro.common import ConfigurationError, GIB, KIB, MS, NS, US
+
+
+class GCVictimPolicy(enum.Enum):
+    """How the garbage collector picks its victim block.
+
+    ``GREEDY`` (the seed's policy) maximises reclaimed pages per erase by
+    taking the block with the most invalid pages.  ``COST_BENEFIT``
+    additionally weighs the relocation cost of the block's remaining
+    valid pages and its wear (a worn block is a worse victim), the
+    classic adaptive-FTL victim score.
+    """
+
+    GREEDY = "greedy"
+    COST_BENEFIT = "cost-benefit"
 
 
 @dataclass(frozen=True)
@@ -144,6 +159,16 @@ class FTLConfig:
     wear_leveling_threshold: float = 1.5
 
     overprovisioning: float = 0.07
+
+    # -- Adaptive-FTL policy axis (registered ablation) ---------------------
+
+    #: GC victim-selection policy; ``GREEDY`` is the seed's behaviour.
+    gc_victim_policy: GCVictimPolicy = GCVictimPolicy.GREEDY
+    #: Route GC/WL relocations (cold data) to their own active blocks so
+    #: they stop interleaving with hot foreground writes in the same
+    #: block.  Off by default -- the single-stream allocator is the
+    #: seed's bit-exact behaviour.
+    hot_cold_separation: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.mapping_cache_coverage <= 1.0:

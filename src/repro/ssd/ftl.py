@@ -201,13 +201,21 @@ class FlashTranslationLayer:
             result[lpa] = ppa
         return result
 
-    def relocate(self, lpa: int) -> PhysicalPageAddress:
-        """Move a valid logical page to a fresh physical page (GC / WL)."""
+    def relocate(self, lpa: int, *,
+                 cold: Optional[bool] = None) -> PhysicalPageAddress:
+        """Move a valid logical page to a fresh physical page (GC / WL).
+
+        ``cold`` overrides the configured hot/cold-separation default;
+        relocated data is cold by definition, so under separation it goes
+        to the allocator's cold write stream.
+        """
         previous = self.mapping.get(lpa)
         if previous is None:
             raise SimulationError(f"cannot relocate unmapped LPA {lpa}")
+        if cold is None:
+            cold = self.config.hot_cold_separation
         self.array.invalidate_page(previous)
-        ppa = self.allocator.allocate(lpa)
+        ppa = self.allocator.allocate(lpa, cold=cold)
         self.mapping[lpa] = ppa
         self.cache.insert(lpa, ppa)
         self.stats.relocated_pages += 1

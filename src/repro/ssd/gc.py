@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.ssd.config import FTLConfig
+from repro.ssd.config import FTLConfig, GCVictimPolicy
 from repro.ssd.ftl import FlashTranslationLayer
 from repro.ssd.nand import FlashBlock, PhysicalBlockAddress
 
@@ -44,14 +44,47 @@ class GarbageCollector:
         return self.ftl.free_block_fraction() < self.config.gc_start_threshold
 
     def select_victim(self) -> Optional[FlashBlock]:
-        """Pick the block with the most invalid pages (greedy policy)."""
+        """Pick the victim block under the configured policy.
+
+        Score ties break on the lowest physical block address: victim
+        choice must not depend on block materialization order, or a run
+        that exercises GC stops being reproducible across equivalent
+        histories.
+        """
+        if self.config.gc_victim_policy is GCVictimPolicy.COST_BENEFIT:
+            return self._select_cost_benefit()
         best: Optional[FlashBlock] = None
-        best_invalid = 0
+        best_key = None
         for block in self.ftl.array.iter_blocks():
             invalid = block.invalid_pages
-            if invalid > best_invalid:
+            if invalid == 0:
+                continue
+            key = (-invalid, block.address)
+            if best_key is None or key < best_key:
                 best = block
-                best_invalid = invalid
+                best_key = key
+        return best
+
+    def _select_cost_benefit(self) -> Optional[FlashBlock]:
+        """Cost-benefit victim score (adaptive-FTL policy axis).
+
+        ``(invalid / (valid + 1))`` is the reclaim-per-relocation benefit;
+        the wear term ``1 / (1 + erase_count / (1 + mean))`` discounts
+        already-worn blocks so victim churn doubles as wear-leveling.
+        """
+        _, mean_erase, _ = self.ftl.array.erase_count_stats()
+        best: Optional[FlashBlock] = None
+        best_key = None
+        for block in self.ftl.array.iter_blocks():
+            invalid = block.invalid_pages
+            if invalid == 0:
+                continue
+            score = (invalid / (block.valid_pages + 1.0) /
+                     (1.0 + block.erase_count / (1.0 + mean_erase)))
+            key = (-score, block.address)
+            if best_key is None or key < best_key:
+                best = block
+                best_key = key
         return best
 
     # -- Collection ----------------------------------------------------------
@@ -68,12 +101,17 @@ class GarbageCollector:
             victim = self.select_victim()
             if victim is None or victim.invalid_pages == 0:
                 break
-            victims_lpas: List[int] = victim.valid_lpas()
-            for lpa in victims_lpas:
-                self.ftl.relocate(lpa)
-                result.relocated_pages += 1
-                result.latency_ns += (nand.read_latency_ns +
-                                      nand.program_latency_ns)
+            # Drain until *live*-empty, not until a snapshot is consumed:
+            # the allocator may stripe a relocation into the victim block
+            # itself, and erasing on the stale snapshot would destroy it.
+            # Terminates because a full block receives no new allocations.
+            while victim.valid_pages > 0:
+                victims_lpas: List[int] = victim.valid_lpas()
+                for lpa in victims_lpas:
+                    self.ftl.relocate(lpa)
+                    result.relocated_pages += 1
+                    result.latency_ns += (nand.read_latency_ns +
+                                          nand.program_latency_ns)
             address: PhysicalBlockAddress = victim.address
             array.erase_block(address)
             result.erased_blocks += 1

@@ -170,6 +170,15 @@ class FlashPlane:
         self.block_count = blocks
         self.pages_per_block = pages_per_block
         self._blocks: Dict[int, FlashBlock] = {}
+        #: Blocks ``[0, cold_blocks)`` hold *static cold data* placed by a
+        #: drive-age profile: fully valid, never a GC/WL victim, invisible
+        #: to the allocator -- so, like untouched free blocks, they are
+        #: accounted arithmetically instead of being materialized (a
+        #: near-EOL full-size drive would otherwise need ~500k block
+        #: objects and ~50M page entries).
+        self.cold_blocks = 0
+        #: Erase count attributed to each unmaterialized cold block.
+        self.cold_erase_count = 0
 
     def block(self, index: int) -> FlashBlock:
         block = self._blocks.get(index)
@@ -188,15 +197,29 @@ class FlashPlane:
     def is_free_block(self, index: int) -> bool:
         """Whether a block is free, without materializing it."""
         block = self._blocks.get(index)
-        return (block is None
-                or (block.write_cursor == 0 and block.valid_pages == 0))
+        if block is None:
+            return index >= self.cold_blocks
+        return block.write_cursor == 0 and block.valid_pages == 0
 
     def materialized_blocks(self) -> Iterator[FlashBlock]:
         """The blocks that have been touched (others are free and erased)."""
         return iter(self._blocks.values())
 
+    def unmaterialized_cold_blocks(self) -> int:
+        """Cold blocks still accounted arithmetically (never materialized).
+
+        A cold block can only materialize through an explicit
+        :meth:`block` call (the allocator and GC never pick one), but the
+        accounting stays correct if a test does it anyway.
+        """
+        if not self.cold_blocks:
+            return 0
+        return self.cold_blocks - sum(1 for index in self._blocks
+                                      if index < self.cold_blocks)
+
     def free_blocks(self) -> int:
-        return (self.block_count - len(self._blocks) +
+        return (self.block_count - len(self._blocks) -
+                self.unmaterialized_cold_blocks() +
                 sum(1 for b in self._blocks.values()
                     if b.write_cursor == 0 and b.valid_pages == 0))
 
@@ -245,18 +268,52 @@ class NANDArray:
         return (self.dies[address.channel][address.die]
                 .planes[address.plane].block(address.block))
 
+    def iter_planes(self) -> Iterator[FlashPlane]:
+        """Iterate over every plane in geometry order."""
+        for channel_dies in self.dies:
+            for die in channel_dies:
+                yield from die.planes
+
     def iter_blocks(self) -> Iterator[FlashBlock]:
         """Iterate over the *materialized* blocks.
 
         Untouched blocks are free, hold no valid or invalid pages and have
-        an erase count of zero, so every consumer of this iterator (GC
-        victim selection, wear-leveling, occupancy statistics) sees the
-        same answers as a dense scan would produce.
+        an erase count of zero -- and cold blocks (drive-age profiles) are
+        deliberately invisible here, exactly as static data pinned outside
+        the FTL's reach -- so every consumer of this iterator (GC victim
+        selection, wear-leveling, occupancy statistics) sees the same
+        answers as a dense scan of the reclaimable population.
         """
-        for channel_dies in self.dies:
-            for die in channel_dies:
-                for plane in die.planes:
-                    yield from plane.materialized_blocks()
+        for plane in self.iter_planes():
+            yield from plane.materialized_blocks()
+
+    # -- Drive aging ---------------------------------------------------------
+
+    def mark_cold_blocks(self, channel: int, die: int, plane: int,
+                         count: int, erase_count: int = 0) -> None:
+        """Declare blocks ``[0, count)`` of a plane as static cold data.
+
+        Cold blocks are fully valid (they hold a drive-age profile's
+        replayed history), so they are *not free*: the free-block counter
+        drops by ``count`` without materializing anything.  Must run
+        before the plane is otherwise touched.
+        """
+        plane_obj = self.dies[channel][die].planes[plane]
+        if not 0 <= count <= plane_obj.block_count:
+            raise SimulationError(
+                f"cannot mark {count} cold blocks in a plane of "
+                f"{plane_obj.block_count}")
+        if plane_obj.cold_blocks:
+            raise SimulationError(
+                f"plane ({channel}, {die}, {plane}) already has cold blocks")
+        for index in plane_obj._blocks:
+            if index < count:
+                raise SimulationError(
+                    f"block {index} of plane ({channel}, {die}, {plane}) is "
+                    "already materialized; age the drive before placement")
+        plane_obj.cold_blocks = count
+        plane_obj.cold_erase_count = erase_count
+        self._free_blocks -= count
 
     # -- State-changing operations ------------------------------------------
 
@@ -300,19 +357,64 @@ class NANDArray:
     def valid_page_count(self) -> int:
         return sum(block.valid_pages for block in self.iter_blocks())
 
+    def _erase_count_moments(self) -> tuple:
+        """(min, max, sum, sum-of-squares, total) over *all* blocks.
+
+        Materialized blocks contribute their own counts; unmaterialized
+        cold blocks contribute their plane's cold erase count; the plain
+        untouched remainder contributes zeros -- so the moments match a
+        dense scan without materializing anything.
+        """
+        counts = []
+        cold_total = 0
+        cold_sum = 0
+        cold_sq = 0
+        cold_min: Optional[int] = None
+        cold_max = 0
+        for plane in self.iter_planes():
+            counts.extend(block.erase_count
+                          for block in plane.materialized_blocks())
+            cold = plane.unmaterialized_cold_blocks()
+            if cold:
+                erase_count = plane.cold_erase_count
+                cold_total += cold
+                cold_sum += cold * erase_count
+                cold_sq += cold * erase_count * erase_count
+                cold_min = (erase_count if cold_min is None
+                            else min(cold_min, erase_count))
+                cold_max = max(cold_max, erase_count)
+        total_blocks = self.total_blocks
+        plain_untouched = total_blocks - len(counts) - cold_total
+        minima = []
+        if counts:
+            minima.append(min(counts))
+        if cold_total:
+            minima.append(cold_min)
+        if plain_untouched:
+            minima.append(0)
+        minimum = min(minima) if minima else 0
+        maximum = max(max(counts, default=0), cold_max)
+        total_sum = sum(counts) + cold_sum
+        total_sq = sum(count * count for count in counts) + cold_sq
+        return minimum, maximum, total_sum, total_sq, total_blocks
+
     def erase_count_stats(self) -> tuple:
         """Return (min, mean, max) erase counts across all blocks.
 
-        Computed over the materialized blocks plus the untouched remainder
-        (erase count zero), so the statistics match a dense scan.
+        Computed over the materialized blocks, the cold remainder and the
+        untouched remainder, so the statistics match a dense scan.
         """
-        counts = [block.erase_count for block in self.iter_blocks()]
-        total_blocks = self.total_blocks
-        untouched = total_blocks - len(counts)
-        minimum = 0 if untouched else (min(counts) if counts else 0)
-        maximum = max(counts, default=0)
-        mean = sum(counts) / total_blocks if total_blocks else 0.0
+        minimum, maximum, total_sum, _, total = self._erase_count_moments()
+        mean = total_sum / total if total else 0.0
         return minimum, mean, maximum
+
+    def erase_count_variance(self) -> float:
+        """Population variance of per-block erase counts (wear spread)."""
+        _, _, total_sum, total_sq, total = self._erase_count_moments()
+        if not total:
+            return 0.0
+        mean = total_sum / total
+        return max(0.0, total_sq / total - mean * mean)
 
     # -- Timing helpers ------------------------------------------------------
 

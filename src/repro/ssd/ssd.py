@@ -71,6 +71,10 @@ class SSD:
         self.wear_leveler = WearLeveler(self.ftl, self.config.ftl)
         self.nvme = NVMeInterface(self.config.host_interface)
         self.stats = SSDStatistics()
+        #: Background maintenance engine (``repro.ssd.lifetime``); when
+        #: attached it replaces the legacy synchronous GC/WL latency
+        #: charge with real traffic on the shared channels.
+        self.background = None
 
     # -- Properties -------------------------------------------------------------
 
@@ -124,8 +128,15 @@ class SSD:
         timing = self.channels.read_page(now + translation_ns, ppa.channel,
                                          ppa.die, transfer_out=transfer_out)
         self.stats.logical_reads += 1
+        end = timing.end
+        if self.background is not None:
+            # Background maintenance runs while the device serves reads
+            # too (its relocations queue on the same channels/dies); the
+            # returned stall is nonzero only under critical free-block
+            # pressure, when GC preempts the foreground entirely.
+            end += self.background.pulse(end)
         return PageAccessTiming(lpa=lpa, ppa=ppa, start_ns=now,
-                                end_ns=timing.end,
+                                end_ns=end,
                                 translation_ns=translation_ns,
                                 flash_ns=timing.end - now - translation_ns)
 
@@ -153,6 +164,12 @@ class SSD:
                 translation_ns=translation_ns,
                 flash_ns=timing.end - now - translation_ns))
         self.stats.logical_reads += count
+        if timings and self.background is not None:
+            # One pulse per run (not per page): the engine's chains are
+            # milliseconds long, so a run-level duty cycle loses nothing,
+            # and a stall would surface at the next operation anyway via
+            # the engine's busy horizon.
+            self.background.pulse(timings[-1].end_ns)
         return timings
 
     def read_run_array(self, now: float, base_lpa: int, count: int, *,
@@ -175,6 +192,8 @@ class SSD:
         ends = self.channels.read_run_batch(now + translations, channels,
                                             dies, transfer_out=transfer_out)
         self.stats.logical_reads += count
+        if count and self.background is not None:
+            self.background.pulse(float(ends[-1]))
         return ends
 
     def write_page(self, now: float, lpa: int) -> PageAccessTiming:
@@ -184,7 +203,7 @@ class SSD:
         timing = self.channels.program_page(now + translation_ns,
                                             new_ppa.channel, new_ppa.die)
         self.stats.logical_writes += 1
-        maintenance = self.run_maintenance()
+        maintenance = self.run_maintenance(timing.end)
         return PageAccessTiming(lpa=lpa, ppa=new_ppa, start_ns=now,
                                 end_ns=timing.end + maintenance,
                                 translation_ns=translation_ns,
@@ -216,8 +235,27 @@ class SSD:
 
     # -- Maintenance -------------------------------------------------------------------
 
-    def run_maintenance(self) -> float:
-        """Run GC and wear-leveling if needed; return the added latency."""
+    def attach_background_engine(self, engine) -> None:
+        """Route maintenance through a background flash engine.
+
+        ``engine`` is a :class:`~repro.ssd.lifetime.engine.
+        BackgroundFlashEngine` (duck-typed here so the storage substrate
+        does not import the lifetime subsystem).  Once attached,
+        :meth:`run_maintenance` pulses it with the foreground write's
+        completion time instead of charging the legacy synchronous
+        latency.
+        """
+        self.background = engine
+
+    def run_maintenance(self, now: float = 0.0) -> float:
+        """Run GC and wear-leveling if needed; return the added latency.
+
+        With a background engine attached, maintenance becomes channel
+        traffic at time ``now``; the returned latency is then zero except
+        under critical free-block pressure (foreground write throttling).
+        """
+        if self.background is not None:
+            return self.background.pulse(now)
         latency = 0.0
         gc_result: GCResult = self.gc.collect()
         if gc_result.triggered:

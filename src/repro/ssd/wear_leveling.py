@@ -56,30 +56,43 @@ class WearLeveler:
     def needs_leveling(self) -> bool:
         return self.imbalance() > self.config.wear_leveling_threshold
 
-    def _coldest_block(self) -> Optional[FlashBlock]:
+    def coldest_block(self) -> Optional[FlashBlock]:
+        """Least-erased block holding valid data (the migration victim).
+
+        Erase-count ties break on the lowest physical block address so the
+        pick never depends on block materialization order (determinism
+        once wear-leveling runs mid-simulation).
+        """
         coldest: Optional[FlashBlock] = None
+        coldest_key = None
         for block in self.ftl.array.iter_blocks():
             if block.valid_pages == 0:
                 continue
-            if coldest is None or block.erase_count < coldest.erase_count:
+            key = (block.erase_count, block.address)
+            if coldest_key is None or key < coldest_key:
                 coldest = block
+                coldest_key = key
         return coldest
 
     def level(self) -> WearLevelingResult:
         """Migrate the coldest block's data if the spread is too large."""
         if not self.needs_leveling():
             return WearLevelingResult(triggered=False)
-        coldest = self._coldest_block()
+        coldest = self.coldest_block()
         if coldest is None:
             return WearLevelingResult(triggered=False)
         self.invocations += 1
         result = WearLevelingResult(triggered=True)
         nand = self.ftl.array.config
-        for lpa in coldest.valid_lpas():
-            self.ftl.relocate(lpa)
-            result.migrated_pages += 1
-            result.latency_ns += (nand.read_latency_ns +
-                                  nand.program_latency_ns)
+        # Drain until live-empty (the allocator may stripe a relocation
+        # back into the block being drained); erasing on a stale snapshot
+        # would lose the re-landed pages.
+        while coldest.valid_pages > 0:
+            for lpa in coldest.valid_lpas():
+                self.ftl.relocate(lpa)
+                result.migrated_pages += 1
+                result.latency_ns += (nand.read_latency_ns +
+                                      nand.program_latency_ns)
         self.ftl.array.erase_block(coldest.address)
         result.erased_blocks = 1
         result.latency_ns += nand.erase_latency_ns

@@ -445,3 +445,70 @@ class TestCLI:
         assert rc == 2
         assert "unknown platform variant 'warp-drive'" in captured.err
         assert "cxl-pud" in captured.err
+
+
+class TestCompareCLI:
+    """``python -m repro compare`` and its pinned JSON document schema."""
+
+    #: Per-row keys of the version-1 comparison document.  The literal
+    #: tuple is deliberate: adding/removing a key must bump
+    #: ``COMPARE_SCHEMA_VERSION`` and consciously update this pin.
+    ROW_KEYS = ("workload", "policy", "base_ms", "other_ms", "time_ratio",
+                "base_energy_mj", "other_energy_mj", "energy_ratio",
+                "base_gc_pages", "other_gc_pages")
+
+    def test_compare_json_document_schema(self, capsys, cli_cache_dir,
+                                          tmp_path):
+        from repro.experiments import COMPARE_SCHEMA_VERSION
+        out_path = tmp_path / "compare.json"
+        rc = cli_main(["compare", "fig8", "default", "default-feedback",
+                       "--scale", str(CLI_SCALE), "--serial",
+                       "--cache-dir", cli_cache_dir, "--json",
+                       str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig8: default vs default-feedback" in out
+        assert "geomean time ratio" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["schema"] == COMPARE_SCHEMA_VERSION
+        assert payload["experiment"] == "fig8"
+        assert payload["base"] == "default"
+        assert payload["other"] == "default-feedback"
+        assert payload["rows"]
+        for row in payload["rows"]:
+            assert sorted(row) == sorted(self.ROW_KEYS)
+            assert row["base_ms"] > 0 and row["other_ms"] > 0
+        summary = payload["summary"]
+        assert summary["pairs"] == len(payload["rows"])
+        for key in ("geomean_time_ratio", "geomean_energy_ratio",
+                    "max_time_ratio", "max_time_ratio_pair"):
+            assert key in summary
+
+    def test_compare_is_symmetric_in_ratio(self, cli_cache_dir, capsys,
+                                           tmp_path):
+        """Swapping base/other inverts every ratio (same cached sweep)."""
+        a_path, b_path = tmp_path / "a.json", tmp_path / "b.json"
+        for path, pair in ((a_path, ("default", "default-feedback")),
+                           (b_path, ("default-feedback", "default"))):
+            rc = cli_main(["compare", "fig8", *pair,
+                           "--scale", str(CLI_SCALE), "--serial",
+                           "--cache-dir", cli_cache_dir, "--json",
+                           str(path)])
+            assert rc == 0
+        capsys.readouterr()
+        forward = json.loads(a_path.read_text())
+        backward = json.loads(b_path.read_text())
+        by_key = {(r["workload"], r["policy"]): r for r in backward["rows"]}
+        for row in forward["rows"]:
+            reverse = by_key[(row["workload"], row["policy"])]
+            assert row["time_ratio"] == pytest.approx(
+                1.0 / reverse["time_ratio"])
+
+    def test_compare_rejects_identity_and_composites(self, capsys):
+        assert cli_main(["compare", "fig8", "default", "default",
+                         "--no-cache"]) == 2
+        assert "no-op" in capsys.readouterr().err
+        assert cli_main(["compare", "report", "default",
+                         "default-feedback", "--no-cache"]) == 2
+        assert "policy-sweeping" in capsys.readouterr().err

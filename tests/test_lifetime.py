@@ -1,0 +1,418 @@
+"""Tests for the device-lifetime subsystem.
+
+Covers the drive-age profiles (determinism, validation, free-space
+targeting), the background flash engine (GC activity on aged drives,
+strict idleness -- bit-equality -- on fresh ones), the adaptive-FTL
+policy axis, the deterministic tie-breaks of victim selection, and the
+core safety property: maintenance never loses a valid page.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import ConfigurationError
+from repro.core.platform import PlatformConfig, SSDPlatform
+from repro.experiments.runner import RunSpec, execute_run_spec
+from repro.ssd.config import (FTLConfig, GCVictimPolicy, NANDConfig,
+                              SSDConfig, small_ssd_config)
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.gc import GarbageCollector
+from repro.ssd.lifetime import (DRIVE_AGE_PROFILES, MID_LIFE_PROFILE,
+                                NEAR_EOL_PROFILE, BackgroundFlashEngine,
+                                DriveAgeProfile, LifetimeConfig,
+                                apply_drive_age)
+from repro.ssd.nand import NANDArray, PhysicalBlockAddress
+from repro.ssd.ssd import SSD
+from repro.ssd.wear_leveling import WearLeveler
+
+
+def tiny_nand() -> NANDConfig:
+    return NANDConfig(channels=2, dies_per_channel=1, planes_per_die=1,
+                      blocks_per_plane=8, pages_per_block=4)
+
+
+def tiny_ssd(ftl: FTLConfig = None) -> SSD:
+    config = SSDConfig(nand=tiny_nand(), ftl=ftl or FTLConfig())
+    return SSD(config)
+
+
+def aged_small_ssd(profile: DriveAgeProfile,
+                   ftl: FTLConfig = None) -> SSD:
+    config = small_ssd_config()
+    if ftl is not None:
+        config = dataclasses.replace(config, ftl=ftl)
+    ssd = SSD(config)
+    apply_drive_age(ssd, profile)
+    return ssd
+
+
+def assert_readback_intact(ssd: SSD) -> None:
+    """Every mapped LPA must still be stored at its mapped location."""
+    for lpa, ppa in ssd.ftl.mapping.items():
+        assert ssd.array.read_page(ppa) == lpa, (
+            f"LPA {lpa} lost: mapping points at {ppa} but the block does "
+            "not hold it")
+
+
+# ------------------------------------------------------------------------
+# Deterministic tie-breaks (satellite: victim selection must not depend
+# on block materialization order)
+# ------------------------------------------------------------------------
+
+
+class TestTieBreaks:
+    def _two_equal_victims(self, ftl: FlashTranslationLayer):
+        """Two blocks on different channels, same invalid/valid counts."""
+        array = ftl.array
+        for channel in (1, 0):  # deliberately materialize high first
+            block = array.block(PhysicalBlockAddress(channel, 0, 0, 0))
+            for page, lpa in enumerate((100 + channel * 10,
+                                        101 + channel * 10)):
+                ppa = array.program_page(block.address, lpa)
+                ftl.mapping[lpa] = ppa
+            array.invalidate_page(block.address.page(0))
+            del ftl.mapping[100 + channel * 10]
+        return array
+
+    def test_gc_victim_tie_breaks_on_lowest_address(self):
+        ftl = FlashTranslationLayer(NANDArray(tiny_nand()), FTLConfig())
+        self._two_equal_victims(ftl)
+        gc = GarbageCollector(ftl, ftl.config)
+        victim = gc.select_victim()
+        assert victim is not None
+        # Channel 1's block was materialized first; address order must win.
+        assert victim.address == PhysicalBlockAddress(0, 0, 0, 0)
+
+    def test_gc_victim_prefers_more_invalid_over_address(self):
+        ftl = FlashTranslationLayer(NANDArray(tiny_nand()), FTLConfig())
+        array = self._two_equal_victims(ftl)
+        # Tip the higher-address block to 2 invalid pages; it must win now.
+        high = array.block(PhysicalBlockAddress(1, 0, 0, 0))
+        array.invalidate_page(high.address.page(1))
+        del ftl.mapping[111]
+        victim = GarbageCollector(ftl, ftl.config).select_victim()
+        assert victim.address == high.address
+
+    def test_wear_leveler_cold_pick_tie_breaks_on_lowest_address(self):
+        ftl = FlashTranslationLayer(NANDArray(tiny_nand()), FTLConfig())
+        array = self._two_equal_victims(ftl)
+        for channel in (0, 1):  # equal erase counts, valid data in both
+            array.block(PhysicalBlockAddress(channel, 0, 0, 0)
+                        ).erase_count = 7
+        leveler = WearLeveler(ftl, ftl.config)
+        coldest = leveler.coldest_block()
+        assert coldest is not None
+        assert coldest.address == PhysicalBlockAddress(0, 0, 0, 0)
+
+
+# ------------------------------------------------------------------------
+# Adaptive-FTL policy axis
+# ------------------------------------------------------------------------
+
+
+class TestAdaptiveFTL:
+    def test_cost_benefit_prefers_emptier_victim(self):
+        """Equal invalid counts: cost-benefit weighs remaining valid data
+        (relocation cost), greedy does not."""
+        ftl = FlashTranslationLayer(
+            NANDArray(tiny_nand()),
+            FTLConfig(gc_victim_policy=GCVictimPolicy.COST_BENEFIT))
+        array = ftl.array
+        # Block A (channel 0): 1 invalid, 3 valid -- expensive to reclaim.
+        a = array.block(PhysicalBlockAddress(0, 0, 0, 0))
+        for lpa in (200, 201, 202, 203):
+            ftl.mapping[lpa] = array.program_page(a.address, lpa)
+        array.invalidate_page(a.address.page(0))
+        del ftl.mapping[200]
+        # Block B (channel 1): 1 invalid, 1 valid -- cheap to reclaim.
+        b = array.block(PhysicalBlockAddress(1, 0, 0, 0))
+        for lpa in (300, 301):
+            ftl.mapping[lpa] = array.program_page(b.address, lpa)
+        array.invalidate_page(b.address.page(0))
+        del ftl.mapping[300]
+        victim = GarbageCollector(ftl, ftl.config).select_victim()
+        assert victim.address == b.address
+        # Greedy ties on invalid count and falls back to address order.
+        greedy_ftl = FlashTranslationLayer(array, FTLConfig())
+        greedy = GarbageCollector(greedy_ftl, greedy_ftl.config)
+        assert greedy.select_victim().address == a.address
+
+    def test_hot_cold_separation_uses_distinct_active_blocks(self):
+        ftl = FlashTranslationLayer(
+            NANDArray(tiny_nand()), FTLConfig(hot_cold_separation=True))
+        hot = ftl.write(0)
+        ftl.write(1)  # advance the stripe back around
+        cold_ppa = ftl.allocator.allocate(50, cold=True)
+        # Same (channel, die, plane) stripe position, different block:
+        # the cold stream must not interleave into the hot active block.
+        assert (cold_ppa.channel, cold_ppa.die, cold_ppa.plane) == (
+            hot.channel, hot.die, hot.plane)
+        assert cold_ppa.block != hot.block
+
+    def test_relocate_defaults_to_configured_separation(self):
+        ftl = FlashTranslationLayer(
+            NANDArray(tiny_nand()), FTLConfig(hot_cold_separation=True))
+        hot = ftl.write(0)
+        ftl.write(1)  # wrap the 2-channel stripe back to channel 0
+        relocated = ftl.relocate(0)
+        assert relocated.channel == hot.channel
+        assert relocated.block != hot.block
+
+
+# ------------------------------------------------------------------------
+# Drive-age profiles
+# ------------------------------------------------------------------------
+
+
+class TestDriveAgeProfiles:
+    def test_profiles_are_deterministic_under_fixed_seed(self):
+        first = aged_small_ssd(NEAR_EOL_PROFILE)
+        second = aged_small_ssd(NEAR_EOL_PROFILE)
+        assert (first.array.erase_count_stats()
+                == second.array.erase_count_stats())
+        assert (first.array.free_block_count()
+                == second.array.free_block_count())
+        assert sorted(first.ftl.mapping.items()) == sorted(
+            second.ftl.mapping.items())
+
+    def test_seed_changes_the_fragmentation(self):
+        base = aged_small_ssd(NEAR_EOL_PROFILE)
+        reseeded = aged_small_ssd(
+            dataclasses.replace(NEAR_EOL_PROFILE, seed=1))
+        assert sorted(base.ftl.mapping.items()) != sorted(
+            reseeded.ftl.mapping.items())
+
+    @pytest.mark.parametrize("name", sorted(DRIVE_AGE_PROFILES))
+    def test_free_fraction_lands_near_target(self, name):
+        profile = DRIVE_AGE_PROFILES[name]
+        ssd = aged_small_ssd(profile)
+        blocks_per_plane = ssd.config.nand.blocks_per_plane
+        # Quantized per plane to max(2, round(f * blocks)).
+        expected = max(2, round(profile.free_fraction * blocks_per_plane)
+                       ) / blocks_per_plane
+        assert ssd.ftl.free_block_fraction() == pytest.approx(expected)
+
+    def test_filler_pages_live_above_logical_capacity(self):
+        ssd = aged_small_ssd(MID_LIFE_PROFILE)
+        assert ssd.ftl.mapping  # some valid filler registered
+        assert min(ssd.ftl.mapping) >= ssd.config.nand.pages
+        assert_readback_intact(ssd)
+
+    def test_operation_counters_reset_after_aging(self):
+        ssd = aged_small_ssd(NEAR_EOL_PROFILE)
+        assert (ssd.array.reads, ssd.array.programs, ssd.array.erases) == (
+            0, 0, 0)
+        # The erases==0 gate keeps the wear-leveler's imbalance at 1.0
+        # until this run actually erases something.
+        assert ssd.wear_leveler.imbalance() == 1.0
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriveAgeProfile(free_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            DriveAgeProfile(fragment_invalid_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DriveAgeProfile(fragment_erase_count_min=10,
+                            fragment_erase_count_max=5)
+        with pytest.raises(ConfigurationError):
+            DriveAgeProfile(prior_write_amplification=0.5)
+        with pytest.raises(ConfigurationError):
+            LifetimeConfig(gc_pages_per_step=0)
+
+
+# ------------------------------------------------------------------------
+# Background engine
+# ------------------------------------------------------------------------
+
+
+def attach_engine(ssd: SSD,
+                  config: LifetimeConfig = None) -> BackgroundFlashEngine:
+    engine = BackgroundFlashEngine(
+        ssd, config or LifetimeConfig(background_flash=True))
+    ssd.attach_background_engine(engine)
+    return engine
+
+
+class TestBackgroundEngine:
+    def test_engine_idles_on_a_fresh_drive_bit_exactly(self):
+        """Engine attached to a fresh drive == no engine at all."""
+        plain, hooked = tiny_ssd(), tiny_ssd()
+        engine = attach_engine(hooked)
+        t_plain = t_hooked = 0.0
+        for lpa in range(16):
+            t_plain = plain.write_page(t_plain, lpa).end_ns
+            t_hooked = hooked.write_page(t_hooked, lpa).end_ns
+        for lpa in range(16):
+            t_plain = plain.read_page(t_plain, lpa).end_ns
+            t_hooked = hooked.read_page(t_hooked, lpa).end_ns
+        assert t_plain == t_hooked
+        assert engine.gc_steps == 0 and engine.wl_runs == 0
+        assert engine.busy_ns == 0.0
+
+    def test_aged_drive_generates_gc_traffic(self):
+        ssd = aged_small_ssd(NEAR_EOL_PROFILE)
+        engine = attach_engine(ssd)
+        t = 0.0
+        for lpa in range(64):
+            t = ssd.write_page(t, lpa).end_ns
+        assert engine.gc_steps > 0
+        assert engine.gc_relocated_pages > 0
+        assert engine.gc_erased_blocks > 0
+        assert engine.busy_ns > 0.0
+        assert_readback_intact(ssd)
+
+    def test_read_path_pulses_the_engine(self):
+        ssd = aged_small_ssd(NEAR_EOL_PROFILE)
+        engine = attach_engine(ssd)
+        ssd.populate(range(8))
+        t = 0.0
+        for lpa in range(8):
+            t = ssd.read_page(t, lpa).end_ns
+        assert engine.gc_steps > 0
+
+    def test_background_chain_is_serialized(self):
+        """A pulse inside the in-flight chain's window does nothing."""
+        ssd = aged_small_ssd(NEAR_EOL_PROFILE)
+        engine = attach_engine(ssd)
+        engine.pulse(0.0)
+        first_steps = engine.gc_steps
+        assert first_steps == 1
+        engine.pulse(engine._busy_until / 2.0)
+        assert engine.gc_steps == first_steps
+        engine.pulse(engine._busy_until)
+        assert engine.gc_steps == first_steps + 1
+
+    def test_erase_counts_are_monotone_under_maintenance(self):
+        ssd = aged_small_ssd(NEAR_EOL_PROFILE)
+        attach_engine(ssd)
+        before = dict()
+        for block in ssd.array.iter_blocks():
+            before[block.address] = block.erase_count
+        t = 0.0
+        for lpa in range(48):
+            t = ssd.write_page(t, lpa).end_ns
+        for block in ssd.array.iter_blocks():
+            assert block.erase_count >= before.get(block.address, 0)
+        assert ssd.array.erases > 0
+
+    def test_wear_leveling_reduces_imbalance(self):
+        ssd = tiny_ssd(FTLConfig(wear_leveling_threshold=1.2))
+        ftl = ssd.ftl
+        # Valid data in a never-erased block; hammer another block with
+        # erases to skew the spread far past the threshold.
+        for lpa in range(4):
+            ftl.write(lpa)
+        plane = ssd.array.die(1, 0).plane(0)
+        free_index = next(index for index in range(plane.block_count)
+                          if plane.is_free_block(index))
+        hot = plane.block(free_index)
+        for _ in range(12):
+            ssd.array.erase_block(hot.address)
+        leveler = ssd.wear_leveler
+        assert leveler.needs_leveling()
+        before = leveler.imbalance()
+        engine = attach_engine(ssd)
+        engine.pulse(0.0)
+        assert engine.wl_runs == 1
+        assert engine.wl_migrated_pages > 0
+        assert_readback_intact(ssd)
+        assert leveler.imbalance() <= before
+
+    def test_wl_budget_caps_migrated_blocks(self):
+        ssd = tiny_ssd(FTLConfig(wear_leveling_threshold=1.01))
+        config = LifetimeConfig(background_flash=True, wl_blocks_per_run=1)
+        engine = attach_engine(ssd, config)
+        for lpa in range(8):
+            ssd.ftl.write(lpa)
+        plane = ssd.array.die(1, 0).plane(0)
+        free_index = next(index for index in range(plane.block_count)
+                          if plane.is_free_block(index))
+        for _ in range(50):
+            ssd.array.erase_block(plane.block(free_index).address)
+        now = 0.0
+        for _ in range(64):
+            now = max(now, engine._busy_until)
+            engine.pulse(now)
+            now += 1.0
+        assert engine.wl_erased_blocks <= 1
+
+    @given(overwrites=st.lists(st.integers(min_value=0, max_value=11),
+                               min_size=1, max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_maintenance_never_loses_valid_pages(self, overwrites):
+        """Random overwrite streams under aggressive GC: every mapped LPA
+        survives, bit-for-bit, no matter how the victim blocks churn."""
+        ssd = tiny_ssd(FTLConfig(gc_start_threshold=0.30,
+                                 gc_stop_threshold=0.35))
+        attach_engine(ssd)
+        t = 0.0
+        for lpa in range(12):
+            t = ssd.write_page(t, lpa).end_ns
+        for lpa in overwrites:
+            t = ssd.write_page(t, lpa).end_ns
+        assert_readback_intact(ssd)
+        assert set(ssd.ftl.mapping) == set(range(12))
+
+
+# ------------------------------------------------------------------------
+# Platform integration and end-to-end bit-equality
+# ------------------------------------------------------------------------
+
+
+def small_platform_config(**kwargs) -> PlatformConfig:
+    return PlatformConfig(ssd=small_ssd_config(), **kwargs)
+
+
+class TestPlatformIntegration:
+    def test_platform_builds_engine_and_applies_profile(self):
+        platform = SSDPlatform(small_platform_config(
+            lifetime=LifetimeConfig(background_flash=True,
+                                    drive_age=NEAR_EOL_PROFILE)))
+        assert platform.ssd.background is not None
+        stats = platform.maintenance_stats()
+        assert stats.background_enabled
+        assert stats.drive_age == "near-eol"
+        assert stats.free_block_fraction < 0.05
+        assert stats.erase_count_max > 0
+        assert stats.write_amplification == pytest.approx(
+            NEAR_EOL_PROFILE.prior_write_amplification)
+
+    def test_default_platform_reports_fresh_legacy_stats(self):
+        platform = SSDPlatform(small_platform_config())
+        assert platform.ssd.background is None
+        stats = platform.maintenance_stats()
+        assert not stats.background_enabled
+        assert stats.drive_age == "fresh"
+        assert stats.gc_relocated_pages == 0
+        assert stats.wear_imbalance == 1.0
+
+    @given(workload=st.sampled_from(["AES", "XOR Filter"]),
+           policy=st.sampled_from(["Conduit", "CPU"]))
+    @settings(max_examples=8, deadline=None)
+    def test_engine_without_profile_is_bit_exact_with_seed(self, workload,
+                                                           policy):
+        """Satellite property: background_flash=True on a fresh drive must
+        not perturb any result (the engine only ever idles)."""
+        spec = RunSpec(workload=workload, scale=0.05, policy=policy)
+        baseline = execute_run_spec(spec)
+        hooked = execute_run_spec(dataclasses.replace(
+            spec, platform=dataclasses.replace(
+                spec.platform,
+                lifetime=LifetimeConfig(background_flash=True))))
+        assert hooked.total_time_ns == baseline.total_time_ns
+        assert hooked.total_energy_nj == baseline.total_energy_nj
+        assert hooked.maintenance.gc_relocated_pages == 0
+
+    def test_aged_platform_run_shifts_results_and_reports_pressure(self):
+        spec = RunSpec(workload="AES", scale=0.05, policy="Conduit")
+        fresh = execute_run_spec(spec)
+        aged = execute_run_spec(dataclasses.replace(
+            spec, platform=dataclasses.replace(
+                spec.platform, contention_feedback=True,
+                lifetime=LifetimeConfig(background_flash=True,
+                                        drive_age=NEAR_EOL_PROFILE))))
+        assert aged.maintenance.gc_relocated_pages > 0
+        assert aged.maintenance.gc_erased_blocks > 0
+        assert aged.total_time_ns > fresh.total_time_ns

@@ -31,6 +31,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.platform import PlatformConfig
 from repro.dram.cxl import CXLPuDConfig
 from repro.experiments.runner import RunSpec, run_spec_key
+from repro.ssd.lifetime import MID_LIFE_PROFILE
 
 #: Platform-tree fields deliberately excluded from the cache key, with
 #: the invariant that justifies each exclusion.
@@ -45,13 +46,16 @@ KEY_EXEMPT_PLATFORM = {
 }
 
 
-def _perturbation_candidates(value: object) -> List[object]:
+def _perturbation_candidates(value: object,
+                             path: Tuple[str, ...] = ()) -> List[object]:
     """Different-but-well-typed replacements for a leaf field value.
 
     Several candidates are offered because config validation constrains
     many leaves (thresholds ordered against each other, ratios in
     ``[0, 1]``); the caller uses the first candidate the config tree
-    accepts.
+    accepts.  ``path`` disambiguates the ``None``-default optional leaves
+    (the CXL tier and the drive-age profile), which need a replacement of
+    the right optional type.
     """
     if isinstance(value, bool):
         return [not value]
@@ -65,7 +69,9 @@ def _perturbation_candidates(value: object) -> List[object]:
     if isinstance(value, str):
         return [value + "-perturbed"]
     if value is None:
-        # The only None-default leaf today is the optional CXL tier.
+        if path and path[-1] == "drive_age":
+            return [MID_LIFE_PROFILE]
+        # The other None-default leaf is the optional CXL tier.
         return [CXLPuDConfig()]
     raise AssertionError(
         f"config leaf of unhandled type {type(value).__name__}: {value!r}; "
@@ -107,7 +113,7 @@ def _perturb_leaf(platform: PlatformConfig,
     """``platform`` with the leaf at ``path`` changed to a valid value."""
     leaf = _follow(platform, path)
     errors = []
-    for candidate in _perturbation_candidates(leaf):
+    for candidate in _perturbation_candidates(leaf, path):
         if candidate == leaf:
             continue
         try:
@@ -142,6 +148,20 @@ class TestEveryKnobPerturbsTheKey:
                 f"platform knob {'.'.join(path)} does NOT perturb the "
                 "cache key; stale entries would be served across its "
                 "values")
+
+    def test_grown_drive_age_leaves_are_covered_too(self):
+        """Leaves of the optional drive-age profile (None by default)."""
+        platform = _replace_at(BASE_SPEC.platform,
+                               ("lifetime", "drive_age"), MID_LIFE_PROFILE)
+        spec = dataclasses.replace(BASE_SPEC, platform=platform)
+        base_key = run_spec_key(spec)
+        for path in _leaf_paths(platform.lifetime.drive_age,
+                                ("lifetime", "drive_age")):
+            perturbed = _perturb_leaf(platform, path)
+            key = run_spec_key(dataclasses.replace(spec,
+                                                   platform=perturbed))
+            assert key != base_key, (
+                f"drive-age knob {'.'.join(path)} does not perturb the key")
 
     def test_grown_cxl_tier_leaves_are_covered_too(self):
         """Leaves of the optional tier (absent from the default tree)."""
