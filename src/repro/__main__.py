@@ -7,8 +7,10 @@ deprecation shims that forward here):
 * ``python -m repro list`` -- registered experiments and platform variants;
 * ``python -m repro run <experiment>`` -- run one registry entry, with
   ``--platform VARIANT`` (repeatable: sweeps the platform axis),
-  ``--scale S``, ``--serial`` / ``--workers N``, ``--no-cache`` /
-  ``--cache-dir DIR``, ``--json OUT`` and ``-v`` (sweep statistics);
+  ``--trace FILE`` (repeatable: registers MQSim-format block traces as
+  workloads and adds them to the sweep), ``--scale S``, ``--serial`` /
+  ``--workers N``, ``--no-cache`` / ``--cache-dir DIR``, ``--json OUT``
+  and ``-v`` (sweep statistics);
 * ``python -m repro compare <experiment> <base> <other>`` -- sweep one
   experiment's axes over two platform variants and diff the grids pair
   by pair (time/energy ratios plus maintenance counters).
@@ -26,6 +28,13 @@ from typing import List, Optional
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.experiments.runner import DEFAULT_WORKLOAD_SCALE
+    # One constant drives both subcommands' --scale help (and the
+    # ExperimentConfig default), so the documented default cannot drift
+    # from the behaviour.
+    scale_help = (f"workload scale (default: {DEFAULT_WORKLOAD_SCALE}, "
+                  "the figure harnesses' scale; 1.0 = the paper's full "
+                  "Table 2 footprints)")
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's evaluation: run registered "
@@ -46,9 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "platform axis (default: the experiment's own "
                           "axis, usually just `default`)")
     run.add_argument("--scale", type=float, default=None, metavar="S",
-                     help="workload scale (default: 0.25, the figure "
-                          "harnesses' scale; 1.0 = the paper's full "
-                          "Table 2 footprints)")
+                     help=scale_help)
+    run.add_argument("--trace", action="append", dest="traces",
+                     metavar="FILE",
+                     help="register an MQSim-format block trace as a "
+                          "workload and add it to the experiment's "
+                          "workload axis; repeatable")
     workers = run.add_mutually_exclusive_group()
     workers.add_argument("--serial", action="store_true",
                          help="run the sweep in-process (no worker pool)")
@@ -82,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("base", help="baseline platform variant")
     compare.add_argument("other", help="variant compared against the base")
     compare.add_argument("--scale", type=float, default=None, metavar="S",
-                         help="workload scale (default: 0.25)")
+                         help=scale_help)
     compare_workers = compare.add_mutually_exclusive_group()
     compare_workers.add_argument("--serial", action="store_true",
                                  help="run the sweep in-process")
@@ -156,10 +168,45 @@ def _cmd_list() -> int:
     print()
     print("Platform variants (--platform, repeatable):")
     print("  " + ", ".join(available_platform_variants()))
+    from repro.workloads import available_workloads
+    print()
+    print("Workloads (experiment axes, TenantSpec mixes; extend with "
+          "--trace or register_workload):")
+    print("  " + ", ".join(available_workloads()))
     return 0
 
 
+def _with_traces(definition, trace_paths: List[str]):
+    """Register ``--trace`` files and widen the experiment's workload axis.
+
+    Registration uses ``overwrite=True`` so re-running the same command is
+    idempotent; the trace's content hash is folded into every cache key
+    (``RunSpec.workload_params``), so overwriting a name with different
+    content can never be served the old content's results.
+    """
+    import dataclasses
+
+    from repro.experiments.registry import ExperimentDef  # noqa: F401
+    from repro.workloads import ALL_WORKLOADS
+    from repro.workloads.traces import register_trace_workload
+    if definition.composite:
+        raise ValueError(
+            f"experiment {definition.name!r} is a composite; --trace needs "
+            "a single policy-sweeping experiment (e.g. `run traces`)")
+    if not definition.policies:
+        raise ValueError(
+            f"experiment {definition.name!r} runs no (workload x policy) "
+            "sweep, so --trace has no axis to extend")
+    base = (definition.workloads if definition.workloads is not None
+            else tuple(workload.name for workload in ALL_WORKLOADS))
+    added = tuple(register_trace_workload(path, overwrite=True)
+                  for path in trace_paths)
+    merged = base + tuple(name for name in added if name not in base)
+    return dataclasses.replace(definition, workloads=merged)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.common import SimulationError
     from repro.experiments import (ExperimentConfig, default_sweep_cache_dir,
                                    experiment_def, platform_variant,
                                    run_experiment, to_json)
@@ -168,7 +215,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         platforms = tuple(args.platforms) if args.platforms else None
         for name in platforms or ():
             platform_variant(name)  # fail fast with the known-variant list
-    except ValueError as error:
+        if getattr(args, "traces", None):
+            definition = _with_traces(definition, args.traces)
+    except (ValueError, OSError, SimulationError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -49,7 +49,8 @@ from repro.experiments.fig10_timeline import phase_summary, run_timeline
 from repro.experiments.overheads import run_overheads
 from repro.experiments.report import (_register_report, format_table,
                                       nested_to_rows, run_report, to_json)
-from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
+from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR,
+                                      DEFAULT_WORKLOAD_SCALE, FIG5_POLICIES,
                                       FIG7_POLICIES, SWEEP_CACHE_ENV,
                                       SWEEP_WORKERS_ENV, ExperimentConfig,
                                       ExperimentRunner, RunSpec, SweepCache,
@@ -58,6 +59,8 @@ from repro.experiments.runner import (DEFAULT_SWEEP_CACHE_DIR, FIG5_POLICIES,
                                       resolve_sweep_workers, run_spec_key,
                                       speedup_table)
 from repro.experiments.table3_workloads import run_table3
+from repro.experiments.traces import (TRACE_PLATFORMS, TRACE_POLICIES,
+                                      TRACE_WORKLOADS, run_traces)
 
 # The fleet-serving experiment lives in its own package; a plain module
 # import (no attribute access) registers its definition while staying
@@ -86,10 +89,12 @@ __all__ = [
     "fig7_results_from_grid", "run_fig7",
     "run_tail_latency", "run_offload_decisions", "phase_summary",
     "run_timeline", "run_overheads", "format_table", "nested_to_rows",
-    "run_report", "to_json", "DEFAULT_SWEEP_CACHE_DIR", "FIG5_POLICIES",
+    "run_report", "to_json", "DEFAULT_SWEEP_CACHE_DIR",
+    "DEFAULT_WORKLOAD_SCALE", "FIG5_POLICIES",
     "FIG7_POLICIES", "SWEEP_CACHE_ENV", "SWEEP_WORKERS_ENV",
     "ExperimentConfig", "ExperimentRunner", "RunSpec", "SweepCache",
     "SweepStats", "default_sweep_cache_dir", "energy_table",
     "execute_run_spec",
     "resolve_sweep_workers", "run_spec_key", "speedup_table", "run_table3",
+    "TRACE_PLATFORMS", "TRACE_POLICIES", "TRACE_WORKLOADS", "run_traces",
 ]

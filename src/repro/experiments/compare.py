@@ -17,6 +17,7 @@ comparison means.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.metrics import ExecutionResult, geometric_mean
@@ -32,6 +33,17 @@ from repro.workloads import workload_by_name
 #: base_energy_mj/other_energy_mj/energy_ratio/base_gc_pages/
 #: other_gc_pages).
 COMPARE_SCHEMA_VERSION = 1
+
+
+def _ratio(base: float, other: float) -> float:
+    """``other / base`` with defined edges: 0/0 is 1.0 (nothing changed,
+    not an infinite regression) and x/0 for x > 0 is ``inf`` (a genuinely
+    unnormalizable blow-up, excluded from the summary geomeans)."""
+    if base > 0:
+        return other / base
+    if other == 0:
+        return 1.0
+    return float("inf")
 
 
 def _gc_pages(result: ExecutionResult) -> int:
@@ -63,12 +75,11 @@ def compare_grids(base: Dict[Tuple[str, str], ExecutionResult],
             "policy": policy,
             "base_ms": left.total_time_ns / 1e6,
             "other_ms": right.total_time_ns / 1e6,
-            "time_ratio": (right.total_time_ns / left.total_time_ns
-                           if left.total_time_ns > 0 else float("inf")),
+            "time_ratio": _ratio(left.total_time_ns, right.total_time_ns),
             "base_energy_mj": left.total_energy_nj / 1e6,
             "other_energy_mj": right.total_energy_nj / 1e6,
-            "energy_ratio": (right.total_energy_nj / left.total_energy_nj
-                             if left.total_energy_nj > 0 else float("inf")),
+            "energy_ratio": _ratio(left.total_energy_nj,
+                                   right.total_energy_nj),
             "base_gc_pages": _gc_pages(left),
             "other_gc_pages": _gc_pages(right),
         }
@@ -80,8 +91,13 @@ def _summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
     """Aggregate comparison rows into the document's summary block."""
     if not rows:
         return {"pairs": 0}
-    ratios = [row["time_ratio"] for row in rows]
-    energy = [row["energy_ratio"] for row in rows]
+    # Infinite ratios (x/0 blow-ups) are reported per-row but excluded
+    # from the geomeans: log(inf) would poison the aggregate into inf,
+    # hiding every finite pair's contribution.
+    ratios = [row["time_ratio"] for row in rows
+              if math.isfinite(row["time_ratio"])]
+    energy = [row["energy_ratio"] for row in rows
+              if math.isfinite(row["energy_ratio"])]
     worst = max(rows, key=lambda row: row["time_ratio"])
     return {
         "pairs": len(rows),

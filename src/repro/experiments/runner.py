@@ -94,14 +94,24 @@ DEFAULT_SWEEP_CACHE_DIR = ".sweep_cache"
 #: ``hot_cold_separation``); all fold into every key via the canonical
 #: config encoding, and ``ExecutionResult`` grew a ``maintenance`` field,
 #: so pre-lifetime pickles are orphaned.
-SWEEP_CACHE_VERSION = 4
+#: Version 5: the open workload registry -- ``RunSpec`` grew
+#: ``workload_params`` (the workload's ``cache_identity()``: trace content
+#: hash, zipf generator parameters), so content-defined workloads key the
+#: cache by *what* they run, not just their registry name, and pre-field
+#: pickles are orphaned rather than silently matched without it.
+SWEEP_CACHE_VERSION = 5
+
+#: The workload scale experiments (and the CLI's ``--scale``) default to.
+#: The CLI help strings derive from this constant so they can never drift
+#: from the behaviour.
+DEFAULT_WORKLOAD_SCALE = 0.25
 
 
 @dataclass
 class ExperimentConfig:
     """Configuration shared by the experiment harnesses."""
 
-    workload_scale: float = 0.25
+    workload_scale: float = DEFAULT_WORKLOAD_SCALE
     platform: PlatformConfig = field(
         default_factory=experiment_platform_config)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
@@ -139,6 +149,13 @@ class RunSpec:
     #: semantics live entirely in ``platform``, so the cache key excludes
     #: it and equal configurations share entries across variant names.
     platform_name: str = "default"
+    #: The workload's ``cache_identity()``: extra identity beyond the
+    #: (name, scale) pair for content-defined workloads -- a trace's
+    #: content hash, a zipf stream's generator parameters.  Folded into
+    #: :func:`run_spec_key` so re-registering a name with different
+    #: content can never be served a stale cache entry, and verified
+    #: against the rebuilt workload in :func:`execute_run_spec`.
+    workload_params: Tuple[Tuple[str, str], ...] = ()
 
 
 def _canonical(value: object) -> object:
@@ -204,9 +221,10 @@ def _compile_program(workload: Workload) -> VectorProgram:
 
 
 #: Per-process compiled-program cache used by the pool workers.  Keyed by
-#: (workload name, scale); a long-lived worker compiles each workload once
-#: even when it executes many policies for it.
-_WORKER_PROGRAMS: Dict[Tuple[str, float], VectorProgram] = {}
+#: (workload name, scale, cache identity); a long-lived worker compiles
+#: each workload once even when it executes many policies for it.
+_WORKER_PROGRAMS: Dict[Tuple[str, float, Tuple[Tuple[str, str], ...]],
+                       VectorProgram] = {}
 
 
 def _execute(program: VectorProgram, spec: RunSpec) -> ExecutionResult:
@@ -239,11 +257,22 @@ def _execute(program: VectorProgram, spec: RunSpec) -> ExecutionResult:
 
 def execute_run_spec(spec: RunSpec) -> ExecutionResult:
     """Process-pool worker: materialize and execute one :class:`RunSpec`."""
-    cache_key = (spec.workload, spec.scale)
+    cache_key = (spec.workload, spec.scale, spec.workload_params)
     program = _WORKER_PROGRAMS.get(cache_key)
     if program is None:
-        program = _compile_program(workload_by_name(spec.workload,
-                                                    scale=spec.scale))
+        workload = workload_by_name(spec.workload, scale=spec.scale)
+        identity = workload.cache_identity()
+        if identity != spec.workload_params:
+            # The registry entry changed between spec construction and
+            # execution (a name re-registered with a different trace or
+            # parameter set): running it would silently attribute the new
+            # content's results to the old spec's cache key.
+            raise ValueError(
+                f"workload {spec.workload!r} rebuilt with cache identity "
+                f"{identity!r}, but this spec was built from "
+                f"{spec.workload_params!r}; the registry entry changed "
+                "under a running sweep")
+        program = _compile_program(workload)
         _WORKER_PROGRAMS[cache_key] = program
     return _execute(program, spec)
 
@@ -361,16 +390,18 @@ class ExperimentRunner:
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
         self.config = config or ExperimentConfig()
-        self._programs: Dict[str, VectorProgram] = {}
+        self._programs: Dict[Tuple[str, float, Tuple[Tuple[str, str], ...]],
+                             VectorProgram] = {}
         #: Stats of the most recent sweep (pairs, cache hits, workers).
         self.last_sweep_stats = SweepStats()
 
     # -- Program construction ------------------------------------------------------
 
     def program_for(self, workload: Workload) -> VectorProgram:
-        if workload.name not in self._programs:
-            self._programs[workload.name] = _compile_program(workload)
-        return self._programs[workload.name]
+        key = (workload.name, workload.scale, workload.cache_identity())
+        if key not in self._programs:
+            self._programs[key] = _compile_program(workload)
+        return self._programs[key]
 
     # -- Run specifications --------------------------------------------------------
 
@@ -388,7 +419,8 @@ class ExperimentRunner:
                        platform=(platform if platform is not None
                                  else self.config.platform),
                        runtime=self.config.runtime,
-                       platform_name=platform_name)
+                       platform_name=platform_name,
+                       workload_params=workload.cache_identity())
 
     # -- Single runs ------------------------------------------------------------------
 
@@ -535,14 +567,21 @@ class ExperimentRunner:
     def _verify_parallelizable(workloads: Iterable[Workload]) -> None:
         """Parallel sweeps rebuild workloads by name in the workers."""
         for workload in workloads:
-            rebuilt = type(workload_by_name(workload.name,
-                                            scale=workload.scale))
-            if rebuilt is not type(workload):
+            rebuilt = workload_by_name(workload.name, scale=workload.scale)
+            if type(rebuilt) is not type(workload):
                 raise ValueError(
                     f"workload {workload.name!r} is not reconstructible "
-                    f"from the workload registry (got {rebuilt.__name__}, "
-                    f"expected {type(workload).__name__}); run this sweep "
-                    "serially or register the workload class")
+                    f"from the workload registry (got "
+                    f"{type(rebuilt).__name__}, expected "
+                    f"{type(workload).__name__}); run this sweep serially "
+                    "or register the workload class")
+            if rebuilt.cache_identity() != workload.cache_identity():
+                raise ValueError(
+                    f"workload {workload.name!r} rebuilds with cache "
+                    f"identity {rebuilt.cache_identity()!r}, expected "
+                    f"{workload.cache_identity()!r}; the registry entry "
+                    "no longer matches this instance (re-register the "
+                    "trace/parameters or run serially)")
 
 
 def speedup_table(results: Dict[Tuple[str, str], ExecutionResult],

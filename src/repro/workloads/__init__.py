@@ -1,7 +1,20 @@
-"""The six evaluated workloads (Table 3) and their characterization."""
+"""The evaluated workloads: Table 3's six kernels plus an open registry.
+
+The six hand-built workloads reproduce the paper's applications; the
+registry itself is *open* (like ``ARRIVAL_REGISTRY`` and
+``PLATFORM_VARIANTS``): :func:`register_workload` adds trace-driven and
+generative entries -- or any user workload -- and every registered name
+is immediately sweepable across experiments, policies, platform variants
+and ``TenantSpec`` mixes.  The built-in ``zipf-hot`` stream and the
+``mqsim-mini`` fixture trace are registered here at import time, so they
+exist in every process (including parallel sweep workers).
+"""
+
+from typing import Callable, Tuple
 
 from repro.workloads.aes import AESWorkload
-from repro.workloads.base import (PaperCharacteristics, Workload,
+from repro.workloads.base import (MIN_SCALED_ELEMENTS, PaperCharacteristics,
+                                  ScaleFloorWarning, Workload,
                                   WorkloadCategory)
 from repro.workloads.characterize import (WorkloadCharacteristics,
                                           characterization_table,
@@ -13,7 +26,9 @@ from repro.workloads.llama_inference import LlamaInferenceWorkload
 from repro.workloads.llm_training import LLMTrainingWorkload
 from repro.workloads.xor_filter import XORFilterWorkload
 
-#: The six workloads in the order the paper's figures list them.
+#: The six workloads in the order the paper's figures list them.  This is
+#: deliberately *only* the paper's roster (Table 3 and the figure defaults
+#: iterate it); registered extras live in :data:`WORKLOAD_REGISTRY`.
 ALL_WORKLOADS = (
     AESWorkload,
     XORFilterWorkload,
@@ -23,35 +38,91 @@ ALL_WORKLOADS = (
     LLMTrainingWorkload,
 )
 
+#: A registry entry: any callable building a workload from a scale --
+#: a ``Workload`` subclass or a closure binding extra identity (a parsed
+#: trace, generator parameters).
+WorkloadFactory = Callable[..., Workload]
 
-#: Registry mapping each workload's figure/table name to its class, so a
-#: (name, scale) pair fully identifies a workload.  Parallel sweep workers
-#: rebuild workloads from this registry instead of pickling instances, and
-#: the generators are deterministic functions of the scale, so rebuilt
-#: workloads produce bit-identical programs.
+#: Open registry mapping workload names to factories, so a (name, scale,
+#: cache_identity) triple fully identifies a workload.  Parallel sweep
+#: workers rebuild workloads from this registry instead of pickling
+#: instances, and factories are deterministic functions of the scale, so
+#: rebuilt workloads produce bit-identical programs.
 WORKLOAD_REGISTRY = {workload.name: workload for workload in ALL_WORKLOADS}
 
 
+def register_workload(name: str, factory: WorkloadFactory, *,
+                      overwrite: bool = False) -> WorkloadFactory:
+    """Register a workload factory under ``name`` (returns the factory).
+
+    ``factory`` is called as ``factory(scale=...)`` and must be a
+    deterministic function of the scale (plus whatever identity it closes
+    over and reports via ``Workload.cache_identity``).  Re-registering an
+    existing name requires ``overwrite=True`` so a typo cannot silently
+    shadow a built-in workload.
+    """
+    if not name:
+        raise ValueError("workload name must be non-empty")
+    if not overwrite and name in WORKLOAD_REGISTRY:
+        raise ValueError(
+            f"workload {name!r} is already registered; pass overwrite=True "
+            "to replace it")
+    WORKLOAD_REGISTRY[name] = factory
+    return factory
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Registered workload names: the six paper kernels first (figure
+    order), then every registered extra in registration order."""
+    return tuple(WORKLOAD_REGISTRY)
+
+
 def default_workloads(scale: float = 1.0):
-    """Instantiate all six workloads at the given scale."""
+    """Instantiate the paper's six workloads at the given scale."""
     return [workload(scale=scale) for workload in ALL_WORKLOADS]
 
 
 def workload_by_name(name: str, scale: float = 1.0) -> Workload:
-    """Instantiate a registered workload by its figure/table name."""
+    """Instantiate a registered workload by its registry name."""
     try:
-        workload_cls = WORKLOAD_REGISTRY[name]
+        factory = WORKLOAD_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(WORKLOAD_REGISTRY))
-        raise ValueError(f"unknown workload {name!r}; known: {known}")
-    return workload_cls(scale=scale)
+        # ``from None``: the internal KeyError is registry plumbing, not
+        # context a user mistyping a workload name should wade through.
+        raise ValueError(f"unknown workload {name!r}; known: {known}") \
+            from None
+    return factory(scale=scale)
+
+
+# -- Built-in trace-driven / generative entries -----------------------------------
+
+from repro.workloads.traces import (MQSIM_MINI_NAME, ZIPF_HOT_NAME,  # noqa: E402
+                                    TraceRow, TraceWorkload, ZipfParams,
+                                    ZipfWorkload, fixture_trace_path,
+                                    load_mqsim_trace, parse_mqsim_trace,
+                                    register_trace_workload,
+                                    trace_workload_factory,
+                                    zipf_workload_factory)
+
+register_workload(ZIPF_HOT_NAME,
+                  zipf_workload_factory(ZipfParams(), name=ZIPF_HOT_NAME))
+register_workload(MQSIM_MINI_NAME,
+                  trace_workload_factory(fixture_trace_path(),
+                                         name=MQSIM_MINI_NAME))
 
 
 __all__ = [
-    "AESWorkload", "PaperCharacteristics", "Workload", "WorkloadCategory",
+    "AESWorkload", "MIN_SCALED_ELEMENTS", "PaperCharacteristics",
+    "ScaleFloorWarning", "Workload", "WorkloadCategory",
     "WorkloadCharacteristics", "characterization_table", "characterize",
     "measure_reuse", "operation_mix", "Heat3DWorkload", "Jacobi1DWorkload",
     "LlamaInferenceWorkload", "LLMTrainingWorkload", "XORFilterWorkload",
-    "ALL_WORKLOADS", "WORKLOAD_REGISTRY", "default_workloads",
+    "ALL_WORKLOADS", "WORKLOAD_REGISTRY", "WorkloadFactory",
+    "available_workloads", "default_workloads", "register_workload",
     "workload_by_name",
+    "MQSIM_MINI_NAME", "ZIPF_HOT_NAME", "TraceRow", "TraceWorkload",
+    "ZipfParams", "ZipfWorkload", "fixture_trace_path", "load_mqsim_trace",
+    "parse_mqsim_trace", "register_trace_workload",
+    "trace_workload_factory", "zipf_workload_factory",
 ]

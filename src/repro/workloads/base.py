@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -32,6 +33,17 @@ from repro.core.compiler.vectorizer import (AutoVectorizer,
 #: Code %" is a code-level metric).  This weight converts the static scalar
 #: code fraction into a dynamic operation count for the scalar sections.
 SCALAR_DYNAMIC_WEIGHT = 0.005
+
+#: Floor applied by :meth:`Workload._scaled`: one compile-time vector's
+#: worth of elements.  Scales small enough to hit the floor *alias* --
+#: distinct scales produce identical programs (see ``_scaled``).
+MIN_SCALED_ELEMENTS = 4096
+
+
+class ScaleFloorWarning(UserWarning):
+    """A workload's ``scale`` was small enough to saturate the element
+    floor, so this scale produces the same program as other tiny scales
+    (their sweep-cache entries are distinct but their results identical)."""
 
 
 class WorkloadCategory(enum.Enum):
@@ -65,6 +77,7 @@ class Workload(abc.ABC):
         if scale <= 0:
             raise SimulationError("workload scale must be positive")
         self.scale = scale
+        self._floor_warned = False
 
     # -- Construction ------------------------------------------------------------
 
@@ -80,12 +93,45 @@ class Workload(abc.ABC):
 
     # -- Helpers -------------------------------------------------------------------
 
-    def _scaled(self, elements: int, *, minimum: int = 4096) -> int:
-        """Scale an element count, keeping it page-aligned and non-trivial."""
+    def _scaled(self, elements: int, *,
+                minimum: int = MIN_SCALED_ELEMENTS) -> int:
+        """Scale an element count, keeping it page-aligned and non-trivial.
+
+        The result is floored at ``minimum`` (one compile-time vector) and
+        rounded up to a multiple of 4096 elements.  The floor means *small
+        scales alias*: every scale at or below ``minimum / elements``
+        produces the identical element count -- and therefore an identical
+        program -- even though the sweep cache keys those scales
+        separately.  The first saturating call per workload instance emits
+        a :class:`ScaleFloorWarning` so sweeps over tiny scales cannot
+        silently burn cache entries on duplicate results;
+        :meth:`effective_scale` exposes the scale actually realized.
+        """
         scaled = int(elements * self.scale)
-        scaled = max(minimum, scaled)
+        if scaled < minimum:
+            if not self._floor_warned:
+                self._floor_warned = True
+                warnings.warn(
+                    f"workload {self.name!r}: scale {self.scale} floors "
+                    f"{elements} elements at the {minimum}-element minimum "
+                    f"(effective scale {minimum / elements:.4g}); scales "
+                    f"<= {minimum / elements:.4g} all build this same "
+                    "program", ScaleFloorWarning, stacklevel=3)
+            scaled = minimum
         # Round to a multiple of 4096 elements (one compile-time vector).
         return ((scaled + 4095) // 4096) * 4096
+
+    def effective_scale(self, elements: int, *,
+                        minimum: int = MIN_SCALED_ELEMENTS) -> float:
+        """The scale actually realized for ``elements`` after the floor.
+
+        Equals ``self.scale`` (up to 4096-element rounding) while the
+        scaled count stays above ``minimum``, and ``minimum / elements``
+        once the floor saturates -- the point past which smaller scales
+        stop shrinking the program.
+        """
+        scaled = max(minimum, int(elements * self.scale))
+        return ((scaled + 4095) // 4096) * 4096 / elements
 
     def add_scalar_section(self, program: ScalarProgram,
                            name: str) -> ScalarSection:
@@ -106,6 +152,19 @@ class Workload(abc.ABC):
         section = ScalarSection(name=name, operation_count=dynamic_ops,
                                 static_operations=static_ops)
         return program.add_scalar_section(section)
+
+    def cache_identity(self) -> Tuple[Tuple[str, str], ...]:
+        """Extra identity folded into the sweep cache key, beyond name+scale.
+
+        The six hand-built workloads are deterministic functions of
+        ``(name, scale)`` alone, so they return ``()``.  Content-defined
+        workloads (a parsed block trace, a seeded generative stream) must
+        return ``(key, value)`` string pairs pinning everything else their
+        program depends on -- the trace content hash, the generator
+        parameters -- so the sweep cache can never serve one trace's
+        results for another registered under the same name.
+        """
+        return ()
 
     def footprint_bytes(self) -> int:
         return self.build_program().footprint_bytes()

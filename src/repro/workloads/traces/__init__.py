@@ -1,0 +1,42 @@
+"""Trace-driven and generative workloads.
+
+Two paths into the same lowering:
+
+* :mod:`repro.workloads.traces.parse` + :class:`TraceWorkload` -- ingest
+  MQSim-format block traces (real or converted) as first-class workloads;
+* :class:`ZipfWorkload` -- seeded zipf hot/cold streams, generated then
+  lowered exactly like a parsed trace.
+
+Both register into the open ``WORKLOAD_REGISTRY`` (the built-in
+``mqsim-mini`` fixture and ``zipf-hot`` entries are registered by
+:mod:`repro.workloads` at import time), so they sweep across every
+experiment, policy and platform variant, and their content hash /
+generator parameters are folded into the sweep cache key via
+``Workload.cache_identity``.
+"""
+
+from repro.workloads.traces.parse import (OPCODE_READ, OPCODE_WRITE,
+                                          SECTOR_BYTES, TraceRow,
+                                          format_mqsim_trace,
+                                          load_mqsim_trace,
+                                          parse_mqsim_trace,
+                                          trace_fingerprint)
+from repro.workloads.traces.workload import (MQSIM_MINI_NAME,
+                                             VECTOR_RUN_SECTORS,
+                                             TraceWorkload, coalesce_runs,
+                                             fixture_trace_path, lower_rows,
+                                             register_trace_workload,
+                                             trace_workload_factory)
+from repro.workloads.traces.zipf import (ZIPF_HOT_NAME, ZipfParams,
+                                         ZipfWorkload, generate_zipf_rows,
+                                         zipf_workload_factory)
+
+__all__ = [
+    "OPCODE_READ", "OPCODE_WRITE", "SECTOR_BYTES", "TraceRow",
+    "format_mqsim_trace", "load_mqsim_trace", "parse_mqsim_trace",
+    "trace_fingerprint", "MQSIM_MINI_NAME", "VECTOR_RUN_SECTORS",
+    "TraceWorkload", "coalesce_runs", "fixture_trace_path", "lower_rows",
+    "register_trace_workload", "trace_workload_factory", "ZIPF_HOT_NAME",
+    "ZipfParams", "ZipfWorkload", "generate_zipf_rows",
+    "zipf_workload_factory",
+]

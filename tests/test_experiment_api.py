@@ -512,3 +512,60 @@ class TestCompareCLI:
         assert cli_main(["compare", "report", "default",
                          "default-feedback", "--no-cache"]) == 2
         assert "policy-sweeping" in capsys.readouterr().err
+
+
+class TestCompareGrids:
+    """Ratio edge cases of :func:`compare_grids` and its summary block."""
+
+    @staticmethod
+    def _result(time_ns: float, energy_nj: float):
+        from repro.core.metrics import ExecutionBreakdown, ExecutionResult
+        from repro.energy.model import EnergyBreakdown
+        return ExecutionResult(
+            workload="w", policy="p", total_time_ns=time_ns, records=[],
+            energy=EnergyBreakdown(compute_nj=energy_nj,
+                                   data_movement_nj=0.0, per_resource_nj={},
+                                   per_transfer_kind_nj={}),
+            breakdown=ExecutionBreakdown())
+
+    def test_zero_over_zero_is_one_not_inf(self):
+        # Regression: 0/0 used to report inf ("infinitely slower") for a
+        # pair where literally nothing changed.
+        from repro.experiments import compare_grids
+        rows = compare_grids({("w", "p"): self._result(0.0, 0.0)},
+                             {("w", "p"): self._result(0.0, 0.0)})
+        assert rows[0]["time_ratio"] == 1.0
+        assert rows[0]["energy_ratio"] == 1.0
+
+    def test_nonzero_over_zero_is_still_inf(self):
+        from repro.experiments import compare_grids
+        rows = compare_grids({("w", "p"): self._result(0.0, 0.0)},
+                             {("w", "p"): self._result(5.0, 5.0)})
+        assert rows[0]["time_ratio"] == float("inf")
+        assert rows[0]["energy_ratio"] == float("inf")
+
+    def test_ordinary_ratio_is_other_over_base(self):
+        from repro.experiments import compare_grids
+        rows = compare_grids({("w", "p"): self._result(2.0, 4.0)},
+                             {("w", "p"): self._result(6.0, 2.0)})
+        assert rows[0]["time_ratio"] == pytest.approx(3.0)
+        assert rows[0]["energy_ratio"] == pytest.approx(0.5)
+
+    def test_summary_geomeans_exclude_infinite_rows(self):
+        # Regression: one x/0 row used to poison the whole geomean into
+        # inf, hiding every finite pair's contribution.
+        import math
+        from repro.experiments import compare_grids
+        from repro.experiments.compare import _summary
+        base = {("a", "p"): self._result(1.0, 1.0),
+                ("b", "p"): self._result(0.0, 0.0)}
+        other = {("a", "p"): self._result(2.0, 2.0),
+                 ("b", "p"): self._result(5.0, 5.0)}
+        summary = _summary(compare_grids(base, other))
+        assert summary["pairs"] == 2
+        assert math.isfinite(summary["geomean_time_ratio"])
+        assert summary["geomean_time_ratio"] == pytest.approx(2.0)
+        assert summary["geomean_energy_ratio"] == pytest.approx(2.0)
+        # The per-row blow-up still surfaces as the worst pair.
+        assert summary["max_time_ratio"] == float("inf")
+        assert summary["max_time_ratio_pair"] == ["b", "p"]

@@ -184,6 +184,14 @@ class TestEveryKnobPerturbsTheKey:
             BASE_SPEC, scale=0.1)) != base_key
         assert run_spec_key(dataclasses.replace(
             BASE_SPEC, policy="CPU")) != base_key
+        # Content-defined workload identity (trace hash, zipf params) is
+        # semantic: it must perturb the key.
+        assert run_spec_key(dataclasses.replace(
+            BASE_SPEC, workload_params=(("trace", "deadbeef"),))) != base_key
+        assert run_spec_key(dataclasses.replace(
+            BASE_SPEC, workload_params=(("trace", "deadbeef"),))) != \
+            run_spec_key(dataclasses.replace(
+                BASE_SPEC, workload_params=(("trace", "cafef00d"),)))
         # The variant display label is presentation, not semantics.
         assert run_spec_key(dataclasses.replace(
             BASE_SPEC, platform_name="an-alias")) == base_key
@@ -214,6 +222,8 @@ SPECS = st.builds(
         cxl_pud=st.sampled_from([None, CXLPuDConfig()]),
     ),
     platform_name=st.sampled_from(["default", "an-alias"]),
+    workload_params=st.sampled_from([(), (("trace", "deadbeef"),),
+                                     (("zipf", "seed=1"),)]),
 )
 
 

@@ -1,13 +1,17 @@
 """Tests for the six evaluated workloads and their characterization."""
 
+import warnings
+
 import pytest
 
 from repro.common import LatencyClass, OpType
-from repro.workloads import (ALL_WORKLOADS, AESWorkload, Heat3DWorkload,
-                             Jacobi1DWorkload, LLMTrainingWorkload,
-                             LlamaInferenceWorkload, XORFilterWorkload,
+from repro.workloads import (ALL_WORKLOADS, MIN_SCALED_ELEMENTS, AESWorkload,
+                             Heat3DWorkload, Jacobi1DWorkload,
+                             LLMTrainingWorkload, LlamaInferenceWorkload,
+                             ScaleFloorWarning, XORFilterWorkload,
                              characterization_table, characterize,
-                             default_workloads, measure_reuse, operation_mix)
+                             default_workloads, measure_reuse, operation_mix,
+                             workload_by_name)
 
 SMALL_SCALE = 0.05
 
@@ -108,3 +112,65 @@ class TestCharacterizationTable:
         assert measure_reuse(program) > 1.0
         mix = operation_mix(program)
         assert mix[LatencyClass.MEDIUM] > 0
+
+
+class TestWorkloadByName:
+    def test_known_name_builds_at_scale(self):
+        workload = workload_by_name("AES", scale=SMALL_SCALE)
+        assert isinstance(workload, AESWorkload)
+        assert workload.scale == SMALL_SCALE
+
+    def test_unknown_name_message_lists_known_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            workload_by_name("nonesuch")
+        message = str(excinfo.value)
+        assert "unknown workload 'nonesuch'" in message
+        assert "jacobi-1d" in message  # the known-name list helps the user
+
+    def test_unknown_name_suppresses_keyerror_context(self):
+        # The internal KeyError is registry plumbing; the traceback a user
+        # sees must not chain through it ("During handling of the above
+        # exception..." noise).  `raise ... from None` both clears the
+        # cause and sets __suppress_context__.
+        with pytest.raises(ValueError) as excinfo:
+            workload_by_name("nonesuch")
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__ is True
+
+
+class TestScaleFloor:
+    def test_floor_saturates_and_warns_once(self):
+        workload = AESWorkload(scale=SMALL_SCALE)
+        with pytest.warns(ScaleFloorWarning, match="floors 100 elements"):
+            assert workload._scaled(100) == MIN_SCALED_ELEMENTS
+        # The warning is once per instance, not per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert workload._scaled(100) == MIN_SCALED_ELEMENTS
+
+    def test_tiny_scales_alias_to_the_same_count(self):
+        # Distinct tiny scales hit the floor and build identical programs
+        # (this is the documented aliasing the warning exists to surface).
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ScaleFloorWarning)
+            a = AESWorkload(scale=0.001)._scaled(1000)
+            b = AESWorkload(scale=0.0001)._scaled(1000)
+        assert a == b == MIN_SCALED_ELEMENTS
+
+    def test_above_floor_no_warning_and_rounds_to_vector(self):
+        workload = AESWorkload(scale=1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert workload._scaled(10_000) == 12_288  # next 4096 multiple
+
+    def test_effective_scale_reports_the_realized_scale(self):
+        floored = AESWorkload(scale=0.001)
+        assert floored.effective_scale(1000) == pytest.approx(
+            MIN_SCALED_ELEMENTS / 1000)
+        unfloored = AESWorkload(scale=1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert unfloored.effective_scale(10_000) == pytest.approx(
+                12_288 / 10_000)
+            assert (unfloored._scaled(10_000)
+                    == round(unfloored.effective_scale(10_000) * 10_000))
